@@ -1,0 +1,93 @@
+// Ablation (Section 4, Theorem 12): asymptotic equivalence of priority
+// distributions in the sublinear-sample regime.
+//
+// When inclusion probabilities go to zero (k << n), any priority
+// distribution with a linear CDF expansion near 0 behaves like
+// Uniform(0, 1/w): the estimator's error distribution depends only on the
+// weights, not the priority family. The bench draws weighted bottom-k
+// samples with Uniform(0,1/w) and Exponential(w) priorities at shrinking
+// k/n and reports the HT estimator's bias and SD under each: they should
+// converge as k/n -> 0 (the exponential CDF 1-e^{-wt} ~ wt near 0).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+#include "ats/workload/synthetic.h"
+
+namespace {
+
+// Draws a weighted bottom-k sample with the given priority family and
+// returns the HT total.
+double HtWithFamily(const std::vector<ats::WeightedItem>& population,
+                    size_t k, bool exponential, uint64_t seed) {
+  ats::Xoshiro256 rng(seed);
+  ats::BottomK<size_t> sketch(k);
+  std::vector<double> priorities(population.size());
+  for (size_t i = 0; i < population.size(); ++i) {
+    const auto dist =
+        exponential ? ats::PriorityDist::Exponential(population[i].weight)
+                    : ats::PriorityDist::WeightedUniform(
+                          population[i].weight);
+    priorities[i] = dist.Sample(rng);
+    sketch.Offer(priorities[i], i);
+  }
+  std::vector<ats::SampleEntry> sample;
+  for (const auto& e : sketch.entries()) {
+    ats::SampleEntry s;
+    s.key = population[e.payload].key;
+    s.value = population[e.payload].weight;
+    s.priority = e.priority;
+    s.threshold = sketch.Threshold();
+    s.dist = exponential ? ats::PriorityDist::Exponential(
+                               population[e.payload].weight)
+                         : ats::PriorityDist::WeightedUniform(
+                               population[e.payload].weight);
+    sample.push_back(s);
+  }
+  return ats::HtTotal(sample);
+}
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t n = 20000;
+  const auto population = ats::MakeWeightedPopulation(n, 5, true, 0.8);
+  double truth = 0.0;
+  for (const auto& it : population) truth += it.weight;
+
+  ats::Table table({"k_over_n", "unif_bias_pct", "exp_bias_pct",
+                    "unif_sd_pct", "exp_sd_pct", "sd_ratio"});
+  for (size_t k : {5000u, 1000u, 200u, 50u}) {
+    ats::RunningStat unif, expo;
+    const int trials = 150;
+    for (int t = 0; t < trials; ++t) {
+      unif.Add(HtWithFamily(population, k, false,
+                            100 + static_cast<uint64_t>(t)));
+      expo.Add(HtWithFamily(population, k, true,
+                            90000 + static_cast<uint64_t>(t)));
+    }
+    const double us = 100.0 * unif.StdDev() / truth;
+    const double es = 100.0 * expo.StdDev() / truth;
+    table.AddNumericRow(
+        {static_cast<double>(k) / static_cast<double>(n),
+         100.0 * (unif.mean() - truth) / truth,
+         100.0 * (expo.mean() - truth) / truth, us, es, es / us},
+        3);
+  }
+  std::printf("Section 4 ablation: Uniform(0,1/w) vs Exponential(w) "
+              "priorities (n=%zu, weighted bottom-k)\n",
+              n);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: both families are unbiased at every k (Theorem 2\n"
+      "holds regardless); their SDs converge (sd_ratio -> 1) as k/n -> 0,\n"
+      "the Theorem 12 asymptotic-equivalence regime.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

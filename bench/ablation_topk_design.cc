@@ -1,0 +1,90 @@
+// Design-choice ablation for the adaptive top-k sampler (Section 3.3):
+// the compaction slack (how much the sketch may grow before the
+// threshold is refreshed) trades update cost against sketch size, and k
+// trades size against error. Neither knob should affect correctness --
+// count estimates stay unbiased -- only the size/error/speed balance.
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "ats/samplers/topk_sampler.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+#include "ats/workload/pitman_yor.h"
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const int stream_len = 100000;
+  const double beta = 0.8;
+  const int trials = 8;
+
+  ats::Table slack_table({"compaction_slack", "errors", "sketch_size",
+                          "count_bias_pct", "ns_per_update"});
+  for (double slack : {1.05, 1.25, 1.5, 2.0, 3.0}) {
+    ats::RunningStat err, size, bias;
+    double seconds = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      ats::PitmanYorStream stream(beta, 50 + static_cast<uint64_t>(t));
+      std::vector<uint64_t> items(stream_len);
+      for (auto& x : items) x = stream.Next();
+      ats::TopKSampler sampler(10, 60 + static_cast<uint64_t>(t), slack);
+      const double t0 = Now();
+      for (uint64_t x : items) sampler.Add(x);
+      seconds += Now() - t0;
+      const auto truth_vec = stream.TopItems(10);
+      const std::set<uint64_t> truth(truth_vec.begin(), truth_vec.end());
+      size_t wrong = truth.size();
+      for (uint64_t item : sampler.TopK()) wrong -= truth.contains(item);
+      err.Add(double(wrong));
+      size.Add(double(sampler.size()));
+      bias.Add((sampler.EstimatedSubsetCount([](uint64_t) { return true; }) -
+                stream_len) /
+               double(stream_len));
+    }
+    slack_table.AddNumericRow({slack, err.mean(), size.mean(),
+                               100.0 * bias.mean(),
+                               seconds / trials / stream_len * 1e9},
+                              4);
+  }
+  std::printf("Top-k design ablation: compaction slack (Pitman-Yor "
+              "beta=%.1f, k=10, stream=%d)\n",
+              beta, stream_len);
+  slack_table.Print(csv);
+
+  ats::Table k_table({"k", "errors_vs_true_topk", "sketch_size"});
+  for (size_t k : {5u, 10u, 20u, 40u}) {
+    ats::RunningStat err, size;
+    for (int t = 0; t < trials; ++t) {
+      ats::PitmanYorStream stream(beta, 70 + static_cast<uint64_t>(t));
+      ats::TopKSampler sampler(k, 80 + static_cast<uint64_t>(t));
+      for (int i = 0; i < stream_len; ++i) sampler.Add(stream.Next());
+      const auto truth_vec = stream.TopItems(k);
+      const std::set<uint64_t> truth(truth_vec.begin(), truth_vec.end());
+      size_t wrong = truth.size();
+      for (uint64_t item : sampler.TopK()) wrong -= truth.contains(item);
+      err.Add(double(wrong));
+      size.Add(double(sampler.size()));
+    }
+    k_table.AddNumericRow({double(k), err.mean(), size.mean()}, 4);
+  }
+  std::printf("\nTop-k design ablation: k sweep\n");
+  k_table.Print(csv);
+  std::printf(
+      "\nShape check: count estimates stay unbiased at every slack (the\n"
+      "knob affects only size/speed); tighter slack -> smaller sketch,\n"
+      "more compaction work; larger k needs a larger adaptive sketch.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

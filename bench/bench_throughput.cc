@@ -1,0 +1,187 @@
+// Engineering microbenchmarks: update throughput of every sampler and
+// sketch in the library (google-benchmark).
+#include <cmath>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "ats/baselines/frequent_items.h"
+#include "ats/baselines/reservoir.h"
+#include "ats/baselines/varopt.h"
+#include "ats/baselines/space_saving.h"
+#include "ats/core/bottom_k.h"
+#include "ats/samplers/budget_sampler.h"
+#include "ats/samplers/sliding_window.h"
+#include "ats/samplers/time_decay.h"
+#include "ats/samplers/topk_sampler.h"
+#include "ats/sketch/group_distinct.h"
+#include "ats/sketch/kmv.h"
+#include "ats/workload/zipf.h"
+
+namespace ats {
+namespace {
+
+void BM_PrioritySamplerAdd(benchmark::State& state) {
+  PrioritySampler sampler(static_cast<size_t>(state.range(0)), 1);
+  Xoshiro256 rng(2);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sampler.Add(key++, 1.0 + rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrioritySamplerAdd)->Arg(64)->Arg(1024);
+
+void BM_BottomKOffer(benchmark::State& state) {
+  BottomK<uint64_t> sketch(static_cast<size_t>(state.range(0)));
+  Xoshiro256 rng(3);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Offer(rng.NextDoubleOpenZero(), key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BottomKOffer)->Arg(64)->Arg(4096);
+
+void BM_KmvAddKey(benchmark::State& state) {
+  KmvSketch sketch(static_cast<size_t>(state.range(0)));
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.AddKey(key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmvAddKey)->Arg(256)->Arg(4096);
+
+void BM_TopKSamplerAdd(benchmark::State& state) {
+  TopKSampler sampler(10, 4);
+  ZipfGenerator zipf(100000, 1.1, 5);
+  std::vector<uint64_t> stream(1 << 16);
+  for (auto& x : stream) x = zipf.Next();
+  size_t i = 0;
+  for (auto _ : state) {
+    sampler.Add(stream[i++ & (stream.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopKSamplerAdd);
+
+void BM_FrequentItemsAdd(benchmark::State& state) {
+  FrequentItemsSketch sketch(64);
+  ZipfGenerator zipf(100000, 1.1, 6);
+  std::vector<uint64_t> stream(1 << 16);
+  for (auto& x : stream) x = zipf.Next();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(stream[i++ & (stream.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequentItemsAdd);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  SpaceSaving sketch(64);
+  ZipfGenerator zipf(100000, 1.1, 7);
+  std::vector<uint64_t> stream(1 << 16);
+  for (auto& x : stream) x = zipf.Next();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(stream[i++ & (stream.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd);
+
+void BM_UnbiasedSpaceSavingAdd(benchmark::State& state) {
+  UnbiasedSpaceSaving sketch(64, 8);
+  ZipfGenerator zipf(100000, 1.1, 9);
+  std::vector<uint64_t> stream(1 << 16);
+  for (auto& x : stream) x = zipf.Next();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(stream[i++ & (stream.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnbiasedSpaceSavingAdd);
+
+void BM_SlidingWindowArrive(benchmark::State& state) {
+  SlidingWindowSampler sampler(static_cast<size_t>(state.range(0)), 1.0,
+                               10);
+  double t = 0.0;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    t += 0.001;
+    sampler.Arrive(t, id++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingWindowArrive)->Arg(100)->Arg(1000);
+
+void BM_BudgetSamplerAdd(benchmark::State& state) {
+  BudgetSampler sampler(1000.0, 11);
+  Xoshiro256 rng(12);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sampler.Add(key++, 1.0 + 4.0 * rng.NextDouble(), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BudgetSamplerAdd);
+
+void BM_TimeDecayAdd(benchmark::State& state) {
+  TimeDecaySampler sampler(256, 13);
+  Xoshiro256 rng(14);
+  double t = 0.0;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    t += 0.001;
+    sampler.Add(key++, 1.0 + rng.NextDouble(), 1.0, t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeDecayAdd);
+
+void BM_GroupDistinctAdd(benchmark::State& state) {
+  GroupDistinctSketch sketch(16, 64);
+  ZipfGenerator groups(5000, 1.1, 15);
+  Xoshiro256 rng(16);
+  std::vector<std::pair<uint64_t, uint64_t>> stream(1 << 16);
+  for (auto& [g, key] : stream) {
+    g = groups.Next();
+    key = rng.Next();
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [g, key] = stream[i++ & (stream.size() - 1)];
+    sketch.Add(g, key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupDistinctAdd);
+
+void BM_VarOptAdd(benchmark::State& state) {
+  VarOptSampler sampler(static_cast<size_t>(state.range(0)), 18);
+  Xoshiro256 rng(19);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sampler.Add(key++, std::exp(rng.NextGaussian()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarOptAdd)->Arg(64)->Arg(1024);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  ReservoirSampler sampler(1024, 17);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sampler.Add(key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirAdd);
+
+}  // namespace
+}  // namespace ats
+
+BENCHMARK_MAIN();

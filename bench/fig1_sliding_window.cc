@@ -1,0 +1,70 @@
+// Figure 1 (Section 3.2): evolution of the per-item sliding-window
+// thresholds versus the conservative G&L final threshold.
+//
+// The paper's Figure 1 plots, over time, (a) the true marginal sampling
+// probability the improved method recovers, (b) the conservative estimate
+// used by the G&L scheme, and (c) the per-window thresholds with their
+// oversampling (hatched) regions. This bench prints those series: at each
+// checkpoint the ideal threshold k/(rate*window), the improved threshold
+// min_i T_i, the G&L threshold, and the oversampling headroom
+// (per-item storage threshold minus the usable improved threshold).
+//
+// Expected shape: improved ~ ideal ~ 2x the G&L estimate at steady state;
+// after the rate change the thresholds adapt with the improved threshold
+// recovering faster.
+#include <cstdio>
+#include <vector>
+
+#include "ats/samplers/sliding_window.h"
+#include "ats/util/table.h"
+#include "ats/workload/arrivals.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t k = 100;
+  const double window = 1.0;
+  const double base_rate = 1000.0;
+  // Rate drops to 40% at t = 2 and recovers at t = 4 (Figure 1 shows the
+  // thresholds rising when the arrival rate falls).
+  ats::RateProfile profile({0.0, 2.0, 4.0}, {base_rate, 0.4 * base_rate,
+                                             base_rate});
+  ats::ArrivalProcess arrivals(profile, base_rate, 11);
+  ats::SlidingWindowSampler sampler(k, window, 7);
+
+  ats::Table table({"time", "rate", "ideal_thresh", "improved_thresh",
+                    "gl_thresh", "max_item_thresh"});
+  double next_checkpoint = 0.25;
+  for (const ats::Arrival& a : arrivals.Until(6.0)) {
+    sampler.Arrive(a.time, a.id);
+    if (a.time >= next_checkpoint) {
+      const double rate = profile.RateAt(a.time);
+      const double ideal = static_cast<double>(k) / (rate * window);
+      double max_item_threshold = 0.0;
+      for (const auto& item : sampler.CurrentItems(a.time)) {
+        max_item_threshold = std::max(max_item_threshold, item.threshold);
+      }
+      table.AddNumericRow({a.time, rate, ideal,
+                           sampler.ImprovedThreshold(a.time),
+                           sampler.GlThreshold(a.time),
+                           max_item_threshold},
+                          4);
+      next_checkpoint += 0.25;
+    }
+  }
+  std::printf("Figure 1: sliding-window thresholds over time "
+              "(k=%zu, window=%.0fs)\n",
+              k, window);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: improved_thresh tracks ideal_thresh (the true\n"
+      "marginal sampling probability); gl_thresh sits near half of it at\n"
+      "steady state; max_item_thresh - improved_thresh is the hatched\n"
+      "oversampling band of Figure 1.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

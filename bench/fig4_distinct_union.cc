@@ -1,0 +1,89 @@
+// Figure 4 (Section 3.5): distinct-counting union error vs Jaccard
+// similarity for the adaptive-threshold (LCS) merge, the basic bottom-k
+// merge, and the Theta sketch union.
+//
+// Paper parameters: |A| = 10^6, |B| = 2x10^6, k = 100, Jaccard in
+// [0, 1/3]; y-axis is the relative error SD(N_hat - N)/N in percent. By
+// default the bench runs at 10x smaller set sizes (the error of these
+// sketches depends on k and the Jaccard similarity, not the absolute set
+// sizes) with more trials; pass --paper-scale for the full 10^6/2x10^6.
+//
+// Expected shape: LCS ~7.5-8.5% at low Jaccard rising toward the others;
+// bottom-k ~10% flat; Theta slightly below bottom-k; all converge as the
+// overlap grows (A subset of B is the degenerate end).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/sketch/theta.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+#include "ats/workload/synthetic.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  bool paper_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) paper_scale = true;
+  }
+  const size_t k = 100;
+  const size_t size_a = paper_scale ? 1000000 : 100000;
+  const size_t size_b = 2 * size_a;
+  const int trials = paper_scale ? 40 : 150;
+  const std::vector<double> jaccards = {0.0,  0.05, 0.1, 0.15,
+                                        0.2,  0.25, 0.3, 0.33};
+
+  ats::Table table({"jaccard", "lcs_rel_err_pct", "bottomk_rel_err_pct",
+                    "theta_rel_err_pct"});
+  for (double j : jaccards) {
+    ats::RunningStat lcs_err, bk_err, theta_err;
+    for (int t = 0; t < trials; ++t) {
+      const uint64_t salt = static_cast<uint64_t>(t) * 7919 + 1;
+      const auto sets = ats::MakeSetPairWithJaccard(
+          size_a, size_b, j, salt + static_cast<uint64_t>(j * 1000));
+      const double n = static_cast<double>(sets.union_size);
+
+      ats::KmvSketch ka(k, 1.0, salt), kb(k, 1.0, salt);
+      ats::ThetaSketch ta(k, salt), tb(k, salt);
+      for (uint64_t key : sets.a) {
+        ka.AddKey(key);
+        ta.AddKey(key);
+      }
+      for (uint64_t key : sets.b) {
+        kb.AddKey(key);
+        tb.AddKey(key);
+      }
+      ats::LcsSketch lcs = ats::LcsSketch::FromKmv(ka);
+      lcs.Merge(ats::LcsSketch::FromKmv(kb));
+      lcs_err.Add((lcs.Estimate() - n) / n);
+
+      ats::KmvSketch merged = ka;
+      merged.Merge(kb);
+      bk_err.Add((merged.Estimate() - n) / n);
+
+      theta_err.Add((ats::ThetaSketch::Union({&ta, &tb}).Estimate() - n) /
+                    n);
+    }
+    table.AddNumericRow({j, 100.0 * lcs_err.Rmse(0.0),
+                         100.0 * bk_err.Rmse(0.0),
+                         100.0 * theta_err.Rmse(0.0)},
+                        4);
+  }
+  std::printf("Figure 4: union distinct-count relative error (%%) vs "
+              "Jaccard (|A|=%zu, |B|=%zu, k=%zu, %d trials)\n",
+              size_a, size_b, k, trials);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: LCS (adaptive threshold) error is lowest at small\n"
+      "Jaccard and rises toward the bottom-k error as the overlap grows;\n"
+      "bottom-k is ~1/sqrt(k)=10%% throughout; Theta sits in between.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

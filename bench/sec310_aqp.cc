@@ -1,0 +1,89 @@
+// Section 3.10: early stopping in approximate query processing.
+//
+// A priority-ordered table answers SUM queries by scanning the prefix
+// until the user's standard-error target delta is met. Reports rows read
+// vs delta and the realized error, plus the multi-objective block layout:
+// reading m blocks yields a weighted sample of >= m*k rows per objective.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ats/aqp/engine.h"
+#include "ats/aqp/layout.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t n = 100000;
+  ats::Xoshiro256 rng(1);
+  std::vector<ats::AqpEngine::Row> rows(n);
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = i;
+    rows[i].weight = std::exp(0.5 * rng.NextGaussian());
+    rows[i].value = rows[i].weight;
+    truth += rows[i].value;
+  }
+
+  ats::Table table({"delta", "rows_read", "pct_of_table",
+                    "realized_err_over_delta"});
+  for (double delta : {2000.0, 1000.0, 500.0, 250.0, 125.0}) {
+    ats::RunningStat read, err;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      ats::AqpEngine engine(rows, 50 + static_cast<uint64_t>(t));
+      const auto r = engine.QuerySum([](uint64_t) { return true; }, delta);
+      read.Add(static_cast<double>(r.rows_read));
+      err.Add((r.estimate - truth) / delta);
+    }
+    table.AddNumericRow({delta, read.mean(),
+                         100.0 * read.mean() / static_cast<double>(n),
+                         err.Rmse(0.0)},
+                        4);
+  }
+  std::printf("Section 3.10: AQP early stopping (table of %zu rows, SUM "
+              "query)\n",
+              n);
+  table.Print(csv);
+
+  // Multi-objective physical layout: m blocks -> >= m*k rows/objective.
+  const size_t block_k = 50;
+  std::vector<ats::AqpRow> lrows(20000);
+  for (size_t i = 0; i < lrows.size(); ++i) {
+    lrows[i].key = i;
+    lrows[i].value = 1.0 + rng.NextDouble();
+    lrows[i].weights = {std::exp(0.4 * rng.NextGaussian()),
+                        std::exp(0.4 * rng.NextGaussian())};
+  }
+  double ltruth = 0.0;
+  for (const auto& r : lrows) ltruth += r.value;
+  ats::MultiObjectiveLayout layout(lrows, block_k, 77);
+  ats::Table ltab({"blocks_read", "rows_read", "obj0_sample", "obj1_sample",
+                   "obj0_rel_err_pct"});
+  for (size_t m : {1u, 2u, 4u, 8u, 16u}) {
+    const auto s0 = layout.ReadSample(m, 0);
+    const auto s1 = layout.ReadSample(m, 1);
+    ltab.AddNumericRow(
+        {static_cast<double>(m), static_cast<double>(layout.RowsRead(m)),
+         static_cast<double>(s0.size()), static_cast<double>(s1.size()),
+         100.0 * std::abs(ats::HtTotal(s0) - ltruth) / ltruth},
+        4);
+  }
+  std::printf("\nMulti-objective block layout (block_k=%zu, 2 objectives, "
+              "%zu rows):\n",
+              block_k, lrows.size());
+  ltab.Print(csv);
+  std::printf(
+      "\nShape check: rows_read shrinks as delta grows (crude answers are\n"
+      "nearly free); per-objective samples >= m*k after m blocks; errors\n"
+      "tighten with more blocks.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

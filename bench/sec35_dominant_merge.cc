@@ -1,0 +1,90 @@
+// Section 3.5: merging when one set dominates the others in size.
+//
+// Paper example: one set with 10^6 distinct items plus many sets of 100
+// items, sketches of size k = 100. A Theta union's threshold collapses to
+// ~k/10^6, so EVERY set is downsampled to it and the union estimate has
+// error ~ +-1% of the combined total. The LCS merge keeps each small
+// sketch's per-item threshold of 1 (they are unsaturated and counted
+// exactly), so only the large sketch contributes error -- ~100x less in
+// the paper's configuration. The bench reproduces this at a scaled size
+// and reports the error ratio.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/sketch/theta.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t k = 100;
+  const size_t large_n = 5000;
+  const size_t small_n = 100;
+
+  ats::Table table({"num_small_sets", "truth", "lcs_err_pct",
+                    "theta_err_pct", "theta_over_lcs"});
+  for (size_t small_sets : {50u, 500u, 5000u}) {
+    ats::RunningStat lcs_err, theta_err;
+    const int trials = 12;
+    for (int t = 0; t < trials; ++t) {
+      const uint64_t salt = static_cast<uint64_t>(t) + 1;
+      ats::KmvSketch large(k, 1.0, salt);
+      ats::ThetaSketch large_theta(k, salt);
+      for (uint64_t i = 0; i < large_n; ++i) {
+        const uint64_t key = (1ULL << 50) + i;
+        large.AddKey(key);
+        large_theta.AddKey(key);
+      }
+      ats::LcsSketch lcs = ats::LcsSketch::FromKmv(large);
+      std::vector<ats::ThetaSketch> thetas;
+      thetas.reserve(small_sets);
+      for (size_t s = 0; s < small_sets; ++s) {
+        ats::KmvSketch small(k, 1.0, salt);
+        ats::ThetaSketch small_theta(k, salt);
+        for (uint64_t i = 0; i < small_n; ++i) {
+          const uint64_t key = (static_cast<uint64_t>(s) << 20) + i;
+          small.AddKey(key);
+          small_theta.AddKey(key);
+        }
+        lcs.Merge(ats::LcsSketch::FromKmv(small));
+        thetas.push_back(std::move(small_theta));
+      }
+      std::vector<const ats::ThetaSketch*> inputs = {&large_theta};
+      for (const auto& s : thetas) inputs.push_back(&s);
+      const double truth =
+          static_cast<double>(large_n + small_sets * small_n);
+      lcs_err.Add((lcs.Estimate() - truth) / truth);
+      theta_err.Add(
+          (ats::ThetaSketch::Union(inputs).Estimate() - truth) / truth);
+    }
+    const double lcs_pct = 100.0 * lcs_err.Rmse(0.0);
+    const double theta_pct = 100.0 * theta_err.Rmse(0.0);
+    table.AddNumericRow(
+        {static_cast<double>(small_sets),
+         static_cast<double>(large_n + small_sets * small_n), lcs_pct,
+         theta_pct, theta_pct / lcs_pct},
+        4);
+  }
+  std::printf("Section 3.5: dominant-set merges (large=%zu, small sets of "
+              "%zu, k=%zu)\n",
+              large_n, small_n, k);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: the error ratio grows like sqrt(total/large): the\n"
+      "Theta union downsamples EVERY set to the large set's threshold,\n"
+      "while the LCS merge counts the (unsaturated) small sketches\n"
+      "exactly, so only the large sketch contributes error. At the\n"
+      "paper's 100:1 composition the ratio reaches ~10x in SD terms\n"
+      "(the paper's quoted 100x compares absolute errors at its 1%%\n"
+      "convention).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,73 @@
+// Section 3.6: frequent-groups distinct counting.
+//
+// GROUP BY distinct counts over many groups: compare the grouped sketch
+// (m promoted bottom-k sketches + shared pool) against the naive
+// per-group-sketch memory cost. Reports stored items, how many groups
+// hold any samples at all, and estimate accuracy for the largest groups.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/sketch/group_distinct.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+#include "ats/workload/zipf.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t k = 64;
+  const size_t num_groups = 5000;
+  const int stream_len = 400000;
+
+  ats::Table table({"m", "stored_items", "naive_per_group_items",
+                    "groups_with_samples", "top_group_rel_err_pct"});
+  for (size_t m : {4u, 8u, 16u, 32u}) {
+    ats::GroupDistinctSketch sketch(m, k);
+    ats::ZipfGenerator groups(num_groups, 1.05, 3);
+    ats::Xoshiro256 rng(4);
+    // Ground truth distinct count per group.
+    std::map<uint64_t, std::set<uint64_t>> truth;
+    for (int i = 0; i < stream_len; ++i) {
+      const uint64_t g = groups.Next();
+      const uint64_t key = rng.NextBelow(1 << 16);  // some repeats
+      truth[g].insert(key);
+      sketch.Add(g, key);
+    }
+    // Naive: one bottom-k sketch per group stores min(distinct, k).
+    size_t naive = 0;
+    for (const auto& [g, keys] : truth) naive += std::min(keys.size(), k);
+    // Accuracy over the top-m groups by true distinct count.
+    std::vector<std::pair<size_t, uint64_t>> by_size;
+    for (const auto& [g, keys] : truth) by_size.push_back({keys.size(), g});
+    std::sort(by_size.rbegin(), by_size.rend());
+    ats::RunningStat err;
+    for (size_t i = 0; i < std::min(m, by_size.size()); ++i) {
+      const auto [n, g] = by_size[i];
+      err.Add((sketch.Estimate(g) - double(n)) / double(n));
+    }
+    table.AddNumericRow({static_cast<double>(m),
+                         static_cast<double>(sketch.StoredItems()),
+                         static_cast<double>(naive),
+                         static_cast<double>(sketch.GroupsWithSamples().size()),
+                         100.0 * err.Rmse(0.0)},
+                        4);
+  }
+  std::printf("Section 3.6: grouped distinct counting (%zu groups, k=%zu, "
+              "stream=%d)\n",
+              num_groups, k, stream_len);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: stored_items stays near m*k + pool, far below the\n"
+      "naive per-group cost; most small groups hold no samples; the top-m\n"
+      "groups keep bottom-k accuracy ~1/sqrt(k)=12%%.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Section 3.7: multi-stratified sampling with an exact budget.
+//
+// One sample that stratifies simultaneously by "country" and by "age" and
+// is then shrunk to exactly B items by the dynamic per-stratum-k rule.
+// Reports stratum coverage, the realized size, and HT accuracy of
+// per-country subset sums under the composite max-threshold.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/core/random.h"
+#include "ats/samplers/multi_stratified.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+
+namespace {
+
+struct User {
+  uint64_t id;
+  uint64_t country;
+  uint64_t age;
+  double value;
+};
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t nc = 20, na = 8, n = 50000;
+  ats::Xoshiro256 rng(1);
+  std::vector<User> users(n);
+  std::map<uint64_t, double> country_truth;
+  for (size_t i = 0; i < n; ++i) {
+    users[i].id = i;
+    // Skewed countries: country c has popularity ~ 1/(c+1).
+    uint64_t c = 0;
+    double u = rng.NextDouble() * 3.5977;  // harmonic(20)
+    while (c + 1 < nc && u > 1.0 / double(c + 1)) {
+      u -= 1.0 / double(c + 1);
+      ++c;
+    }
+    users[i].country = c;
+    users[i].age = rng.NextBelow(na);
+    users[i].value = 1.0 + rng.NextDouble();
+    country_truth[c] += users[i].value;
+  }
+
+  ats::Table table({"budget", "realized_size", "min_stratum_size",
+                    "country_sum_rel_err_pct"});
+  for (size_t budget : {60u, 120u, 240u, 480u}) {
+    ats::RunningStat err;
+    size_t realized = 0, min_stratum = n;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      ats::MultiStratifiedSampler sampler(2, budget,
+                                          100 + static_cast<uint64_t>(t));
+      for (const auto& u : users) {
+        sampler.Add(u.id, {u.country, u.age}, u.value);
+      }
+      sampler.ShrinkToBudget(budget);
+      realized = sampler.size();
+      for (uint64_t c = 0; c < nc; ++c) {
+        min_stratum = std::min(min_stratum, sampler.StratumSize(0, c));
+      }
+      const auto sample = sampler.Sample();
+      std::map<uint64_t, uint64_t> id_to_country;
+      for (const auto& u : users) id_to_country[u.id] = u.country;
+      for (uint64_t c = 0; c < 5; ++c) {
+        const double est = ats::HtSubsetSum(sample, [&](uint64_t key) {
+          return id_to_country.at(key) == c;
+        });
+        err.Add((est - country_truth[c]) / country_truth[c]);
+      }
+    }
+    table.AddNumericRow({static_cast<double>(budget),
+                         static_cast<double>(realized),
+                         static_cast<double>(min_stratum),
+                         100.0 * err.Rmse(0.0)},
+                        4);
+  }
+  std::printf("Section 3.7: multi-stratified sampling, %zu countries x %zu "
+              "ages, n=%zu\n",
+              nc, na, n);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: realized_size == budget exactly; every stratum keeps\n"
+      "representation; per-country HT errors shrink as the budget grows.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,65 @@
+// Section 3.8: multi-objective samples.
+//
+// Two objectives (e.g. profit and revenue) with tunable weight
+// correlation share one coordinated sample. Reports the combined sketch
+// size (<= 2k, collapsing to k as weights become scalar multiples) and
+// per-objective HT accuracy, plus the budget-utilization claim: with c
+// objectives under budget B, perfectly correlated weights use only B/c.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/samplers/multi_objective.h"
+#include "ats/util/stats.h"
+#include "ats/util/table.h"
+#include "ats/workload/synthetic.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool csv = ats::HasCsvFlag(argc, argv);
+  const size_t k = 100, n = 20000;
+  std::vector<double> values(n);
+  ats::Xoshiro256 rng(2);
+  double truth = 0.0;
+  for (double& v : values) {
+    v = 1.0 + rng.NextDouble();
+    truth += v;
+  }
+
+  ats::Table table({"weight_mix", "combined_size", "size_over_k",
+                    "obj0_rel_err_pct", "obj1_rel_err_pct"});
+  for (double mix : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    ats::RunningStat size_stat, err0, err1;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      const auto weights = ats::MakeObjectiveWeights(
+          n, 2, mix, 300 + static_cast<uint64_t>(t));
+      ats::MultiObjectiveSampler sampler(2, k,
+                                         900 + static_cast<uint64_t>(t));
+      for (size_t i = 0; i < n; ++i) {
+        sampler.Add(i, {weights[0][i], weights[1][i]}, values[i]);
+      }
+      size_stat.Add(static_cast<double>(sampler.CombinedSize()));
+      err0.Add((ats::HtTotal(sampler.Sample(0)) - truth) / truth);
+      err1.Add((ats::HtTotal(sampler.Sample(1)) - truth) / truth);
+    }
+    table.AddNumericRow({mix, size_stat.mean(), size_stat.mean() / double(k),
+                         100.0 * err0.Rmse(0.0), 100.0 * err1.Rmse(0.0)},
+                        4);
+  }
+  std::printf("Section 3.8: multi-objective sampling (2 objectives, k=%zu, "
+              "n=%zu)\n",
+              k, n);
+  table.Print(csv);
+  std::printf(
+      "\nShape check: combined size falls from ~1.4k (independent weights,\n"
+      "already coordinated by the shared uniform) to exactly k (scalar\n"
+      "multiples); estimator accuracy is unaffected by the overlap.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

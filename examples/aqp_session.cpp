@@ -1,0 +1,59 @@
+// Approximate query processing with early stopping (Section 3.10): store
+// the whole table sorted by sampling priority, then answer SUM queries at
+// user-chosen accuracy, reading only as many rows as each target needs.
+//
+// Build & run:  ./build/examples/aqp_session
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ats/aqp/engine.h"
+
+int main() {
+  // An orders table: 200k rows, amount ~ lognormal, weighted by amount
+  // (PPS layout: big orders sort early and are always read first).
+  const size_t n = 200000;
+  ats::Xoshiro256 rng(7);
+  std::vector<ats::AqpEngine::Row> rows(n);
+  double truth_all = 0.0, truth_segment = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = i;
+    rows[i].weight = std::exp(0.7 * rng.NextGaussian());
+    rows[i].value = rows[i].weight;
+    truth_all += rows[i].value;
+    if (i % 7 == 0) truth_segment += rows[i].value;
+  }
+  ats::AqpEngine engine(std::move(rows), /*seed=*/11);
+
+  std::printf("table: %zu rows, priority-ordered (build once, query at any "
+              "accuracy)\n\n",
+              engine.table_size());
+  std::printf("%-34s %-12s %-10s %-12s %-10s\n", "query", "target +-",
+              "rows read", "estimate", "true");
+  struct Q {
+    const char* name;
+    double delta;
+    bool segment;
+  };
+  const Q queries[] = {
+      {"SUM(amount) rough", 3000.0, false},
+      {"SUM(amount) normal", 800.0, false},
+      {"SUM(amount) precise", 200.0, false},
+      {"SUM(amount) WHERE key%7=0 rough", 1200.0, true},
+      {"SUM(amount) WHERE key%7=0 precise", 150.0, true},
+  };
+  for (const Q& q : queries) {
+    const auto pred = q.segment
+                          ? std::function<bool(uint64_t)>(
+                                [](uint64_t k) { return k % 7 == 0; })
+                          : std::function<bool(uint64_t)>(
+                                [](uint64_t) { return true; });
+    const auto r = engine.QuerySum(pred, q.delta);
+    std::printf("%-34s %-12.0f %-10zu %-12.0f %-10.0f\n", q.name, q.delta,
+                r.rows_read, r.estimate,
+                q.segment ? truth_segment : truth_all);
+  }
+  std::printf("\nCrude answers read a few thousand rows; precise ones read "
+              "more -- the user tunes accuracy at query time.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Distributed distinct counting (Sections 3.4-3.5): worker nodes sketch
+// their local key streams, serialize the sketches over the wire, and a
+// coordinator merges them with the generalized LCS rule -- retaining each
+// node's own (larger) threshold per item instead of collapsing everything
+// to the global minimum like a Theta union would.
+//
+// Build & run:  ./build/examples/distributed_counting
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/sketch/theta.h"
+
+int main() {
+  const size_t k = 256;
+  const uint64_t salt = 7;  // all nodes must hash identically
+  const int num_nodes = 12;
+
+  // Workers: node 0 is a hot shard with many distinct users; the others
+  // see small, partially overlapping slices.
+  std::vector<std::string> wire_messages;
+  std::set<uint64_t> truth;
+  size_t bytes_shipped = 0;
+  for (int node = 0; node < num_nodes; ++node) {
+    ats::KmvSketch sketch(k, 1.0, salt);
+    ats::Xoshiro256 rng(100 + static_cast<uint64_t>(node));
+    const int local_users = node == 0 ? 500000 : 3000;
+    for (int i = 0; i < local_users; ++i) {
+      const uint64_t user =
+          node == 0 ? rng.NextBelow(400000)
+                    : 400000 + rng.NextBelow(20000);  // tail shards overlap
+      sketch.AddKey(user);
+      truth.insert(user);
+    }
+    wire_messages.push_back(sketch.SerializeToString());
+    bytes_shipped += wire_messages.back().size();
+  }
+
+  // Coordinator: deserialize and LCS-merge.
+  ats::LcsSketch merged;
+  for (const std::string& bytes : wire_messages) {
+    const auto sketch = ats::KmvSketch::Deserialize(bytes);
+    if (!sketch) {
+      std::fprintf(stderr, "corrupt sketch message!\n");
+      return 1;
+    }
+    merged.Merge(ats::LcsSketch::FromKmv(*sketch));
+  }
+
+  std::printf("nodes: %d, bytes shipped: %zu (vs %zu raw user ids)\n",
+              num_nodes, bytes_shipped, truth.size() * 8);
+  std::printf("true distinct users:      %zu\n", truth.size());
+  std::printf("LCS-merged estimate:      %.0f  (%.2f%% error)\n",
+              merged.Estimate(),
+              100.0 * (merged.Estimate() - double(truth.size())) /
+                  double(truth.size()));
+  std::printf("retained sample size:     %zu hashes with per-item "
+              "thresholds\n",
+              merged.size());
+  std::printf(
+      "\nThe hot shard's threshold dominates a Theta union; LCS keeps the\n"
+      "small shards' items at their own (near-1) thresholds, so the tail\n"
+      "shards are counted almost exactly (Section 3.5).\n");
+  return 0;
+}

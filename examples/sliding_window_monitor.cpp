@@ -1,0 +1,47 @@
+// Sliding-window monitoring (Section 3.2): keep a bounded-space uniform
+// sample of the last window of a traffic stream whose rate spikes, using
+// the G&L sketch with the paper's improved final threshold.
+//
+// The monitor prints, once per simulated second, the usable sample size
+// under both final thresholds and an HT estimate of the window's item
+// count -- all from the identical stored state.
+//
+// Build & run:  ./build/examples/sliding_window_monitor
+#include <cstdio>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/samplers/sliding_window.h"
+#include "ats/workload/arrivals.h"
+
+int main() {
+  const size_t k = 200;          // space budget (current window)
+  const double window = 1.0;     // seconds
+  ats::SlidingWindowSampler sampler(k, window, /*seed=*/7);
+
+  // Traffic at 2000 items/s with a 5x burst during seconds 4-5.
+  ats::RateProfile profile = ats::RateProfile::WithSpike(2000.0, 4.0, 5.0,
+                                                         5.0);
+  ats::ArrivalProcess arrivals(profile, 10000.0, 8);
+
+  std::printf("time  rate   stored  usable(G&L)  usable(improved)  "
+              "window count est (rate*window now)\n");
+  double next_report = 1.0;
+  for (const ats::Arrival& a : arrivals.Until(8.0)) {
+    sampler.Arrive(a.time, a.id);
+    if (a.time >= next_report) {
+      const auto gl = sampler.GlSample(a.time);
+      const auto imp = sampler.ImprovedSample(a.time);
+      // The improved sample is a uniform sample of the window at a known
+      // threshold: HT with value 1 estimates the window's item count.
+      const double count_est = ats::HtCount(imp);
+      std::printf("%4.1f  %5.0f  %6zu  %11zu  %16zu  %9.0f (%5.0f)\n",
+                  a.time, profile.RateAt(a.time),
+                  sampler.StoredCount(a.time), gl.size(), imp.size(),
+                  count_est, profile.RateAt(a.time) * window);
+      next_report += 1.0;
+    }
+  }
+  std::printf("\nSame sketch, two final thresholds: the improved rule "
+              "roughly doubles the usable sample.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "ats/aqp/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <queue>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+AqpEngine::AqpEngine(std::vector<Row> rows, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  rows_.reserve(rows.size());
+  for (Row& r : rows) {
+    ATS_CHECK(r.weight > 0.0);
+    StoredRow s;
+    s.priority = rng.NextDoubleOpenZero() / r.weight;
+    s.row = std::move(r);
+    rows_.push_back(std::move(s));
+  }
+  std::sort(rows_.begin(), rows_.end(),
+            [](const StoredRow& a, const StoredRow& b) {
+              return a.priority < b.priority;
+            });
+}
+
+AqpQueryResult AqpEngine::QuerySum(
+    const std::function<bool(uint64_t)>& predicate, double delta) const {
+  ATS_CHECK(delta > 0.0);
+  const double target = delta * delta;
+
+  // Matching read rows are split by whether pi = w*t has saturated at 1.
+  // Unsaturated rows (w*t < 1) contribute (x/w)/t to the estimate and
+  // x^2 (1-pi)/pi^2 = (x^2/w^2)/t^2 - (x^2/w)/t to the UNBIASED variance
+  // estimate (the pi^2 form is essential: the plug-in (1-pi)/pi form
+  // grossly underestimates the variance at small prefixes and triggers
+  // premature stops). Saturated rows contribute x exactly. A min-heap on
+  // 1/w migrates rows as the threshold t grows.
+  double a_sum = 0.0;   // sum of x/w over unsaturated matches
+  double c_sum = 0.0;   // sum of x^2/w over unsaturated matches
+  double e_sum = 0.0;   // sum of x^2/w^2 over unsaturated matches
+  double b_sum = 0.0;   // sum of x over saturated matches
+  using HeapItem = std::pair<double, size_t>;  // (1/w, row index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  // Do not stop before a handful of matches have been seen: with zero or
+  // one matching row the variance estimate is degenerate (Section 3.9's
+  // caveat about verifying stopping times from inside the sample).
+  constexpr size_t kMinMatchesBeforeStop = 10;
+  size_t matches = 0;
+
+  AqpQueryResult result;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const StoredRow& s = rows_[i];
+    // Threshold after reading rows [0, i]: the next unread priority
+    // (+infinity once the table is exhausted: every pi saturates).
+    const double t = i + 1 < rows_.size()
+                         ? rows_[i + 1].priority
+                         : std::numeric_limits<double>::infinity();
+
+    if (predicate(s.row.key)) {
+      ++matches;
+      const double x = s.row.value;
+      const double w = s.row.weight;
+      a_sum += x / w;
+      c_sum += x * x / w;
+      e_sum += x * x / (w * w);
+      heap.emplace(1.0 / w, i);
+    }
+    // Migrate rows whose inclusion probability saturated (w*t >= 1).
+    while (!heap.empty() && heap.top().first <= t) {
+      const StoredRow& m = rows_[heap.top().second];
+      heap.pop();
+      const double x = m.row.value;
+      const double w = m.row.weight;
+      a_sum -= x / w;
+      c_sum -= x * x / w;
+      e_sum -= x * x / (w * w);
+      b_sum += x;
+    }
+
+    const double variance = std::max(0.0, e_sum / (t * t) - c_sum / t);
+    const bool last = i + 1 == rows_.size();
+    if ((variance <= target &&
+         (matches >= kMinMatchesBeforeStop || last)) ||
+        last) {
+      result.estimate = (t == std::numeric_limits<double>::infinity()
+                             ? 0.0
+                             : a_sum / t) +
+                        b_sum;
+      result.variance = variance;
+      result.threshold = t;
+      result.rows_read = i + 1;
+      result.exhausted = last;
+      return result;
+    }
+  }
+  // Empty table.
+  result.exhausted = true;
+  return result;
+}
+
+}  // namespace ats

@@ -1,0 +1,58 @@
+// Early-stopping approximate query processing (Section 3.10).
+//
+// The table stores every row, sorted by priority S_i = U_i / w_i. A query
+// with a user-specified standard-error target delta scans rows in priority
+// order; after reading a prefix, the effective threshold is the next
+// (unread) priority -- a stopping time in the sorted-priority filtration
+// (Theorem 8), hence substitutable -- and the scan stops as soon as the
+// HT variance estimate of the running answer drops to delta^2. Small
+// targets read more rows; crude targets answer after a handful.
+#ifndef ATS_AQP_ENGINE_H_
+#define ATS_AQP_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+struct AqpQueryResult {
+  double estimate = 0.0;
+  double variance = 0.0;   // HT variance estimate at the stop threshold
+  double threshold = 0.0;  // stop threshold
+  size_t rows_read = 0;
+  bool exhausted = false;  // read the whole table (variance 0)
+};
+
+class AqpEngine {
+ public:
+  struct Row {
+    uint64_t key = 0;
+    double value = 0.0;
+    double weight = 1.0;
+  };
+
+  // Builds the priority-ordered table (priorities U/w, drawn from `seed`).
+  AqpEngine(std::vector<Row> rows, uint64_t seed);
+
+  // SUM(value) over rows whose key satisfies `predicate`, stopping when
+  // the estimated standard error is <= delta (absolute).
+  AqpQueryResult QuerySum(const std::function<bool(uint64_t)>& predicate,
+                          double delta) const;
+
+  size_t table_size() const { return rows_.size(); }
+
+ private:
+  struct StoredRow {
+    Row row;
+    double priority = 0.0;
+  };
+
+  std::vector<StoredRow> rows_;  // ascending priority
+};
+
+}  // namespace ats
+
+#endif  // ATS_AQP_ENGINE_H_

@@ -1,0 +1,117 @@
+#include "ats/aqp/layout.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+MultiObjectiveLayout::MultiObjectiveLayout(std::vector<AqpRow> rows,
+                                           size_t block_k, uint64_t seed)
+    : rows_(std::move(rows)) {
+  ATS_CHECK(!rows_.empty());
+  ATS_CHECK(block_k >= 1);
+  num_objectives_ = rows_[0].weights.size();
+  ATS_CHECK(num_objectives_ >= 1);
+
+  // Coordinated priorities: one uniform per row shared across objectives.
+  Xoshiro256 rng(seed);
+  for (AqpRow& row : rows_) {
+    ATS_CHECK(row.weights.size() == num_objectives_);
+    const double u = rng.NextDoubleOpenZero();
+    row.priorities.resize(num_objectives_);
+    for (size_t j = 0; j < num_objectives_; ++j) {
+      ATS_CHECK(row.weights[j] > 0.0);
+      row.priorities[j] = u / row.weights[j];
+    }
+  }
+
+  // Per-objective ascending priority orders.
+  std::vector<std::vector<size_t>> order(num_objectives_);
+  for (size_t j = 0; j < num_objectives_; ++j) {
+    order[j].resize(rows_.size());
+    std::iota(order[j].begin(), order[j].end(), 0);
+    std::sort(order[j].begin(), order[j].end(), [&](size_t a, size_t b) {
+      return rows_[a].priorities[j] < rows_[b].priorities[j];
+    });
+  }
+
+  // Greedy block assignment: for each block, each objective claims its
+  // block_k smallest-priority unassigned rows.
+  std::vector<bool> assigned(rows_.size(), false);
+  std::vector<size_t> cursor(num_objectives_, 0);
+  size_t remaining = rows_.size();
+  while (remaining > 0) {
+    std::vector<size_t> block;
+    for (size_t j = 0; j < num_objectives_ && remaining > 0; ++j) {
+      for (size_t taken = 0; taken < block_k && remaining > 0;) {
+        size_t& c = cursor[j];
+        if (c >= order[j].size()) break;
+        const size_t row = order[j][c++];
+        if (assigned[row]) continue;
+        assigned[row] = true;
+        block.push_back(row);
+        --remaining;
+        ++taken;
+      }
+    }
+    ATS_CHECK(!block.empty());
+    blocks_.push_back(std::move(block));
+  }
+}
+
+std::vector<const AqpRow*> MultiObjectiveLayout::Block(size_t b) const {
+  ATS_CHECK(b < blocks_.size());
+  std::vector<const AqpRow*> out;
+  out.reserve(blocks_[b].size());
+  for (size_t idx : blocks_[b]) out.push_back(&rows_[idx]);
+  return out;
+}
+
+size_t MultiObjectiveLayout::RowsRead(size_t m) const {
+  size_t total = 0;
+  for (size_t b = 0; b < std::min(m, blocks_.size()); ++b) {
+    total += blocks_[b].size();
+  }
+  return total;
+}
+
+double MultiObjectiveLayout::ThresholdAfter(size_t m, size_t objective) const {
+  ATS_CHECK(objective < num_objectives_);
+  if (m >= blocks_.size()) return kInfiniteThreshold;
+  std::vector<bool> read(rows_.size(), false);
+  for (size_t b = 0; b < m; ++b) {
+    for (size_t idx : blocks_[b]) read[idx] = true;
+  }
+  double tau = kInfiniteThreshold;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!read[i]) tau = std::min(tau, rows_[i].priorities[objective]);
+  }
+  return tau;
+}
+
+std::vector<SampleEntry> MultiObjectiveLayout::ReadSample(
+    size_t m, size_t objective) const {
+  ATS_CHECK(objective < num_objectives_);
+  const double tau = ThresholdAfter(m, objective);
+  std::vector<SampleEntry> out;
+  for (size_t b = 0; b < std::min(m, blocks_.size()); ++b) {
+    for (size_t idx : blocks_[b]) {
+      const AqpRow& row = rows_[idx];
+      if (row.priorities[objective] < tau) {
+        SampleEntry e;
+        e.key = row.key;
+        e.value = row.value;
+        e.priority = row.priorities[objective];
+        e.threshold = tau;
+        e.dist = PriorityDist::WeightedUniform(row.weights[objective]);
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ats

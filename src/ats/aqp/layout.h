@@ -1,0 +1,61 @@
+// Priority-ordered physical layouts for approximate query processing
+// (Section 3.10).
+//
+// Rather than materializing samples, store ALL rows but order them by
+// priority, so any prefix of the file is a weighted sample. The
+// multi-objective block layout interleaves objectives: block b holds, for
+// each objective j, the k rows with smallest objective-j priorities among
+// the rows not yet assigned. After reading the first m blocks, objective
+// j's sample is every read row with S^j_i below tau_j = the smallest
+// objective-j priority among UNREAD rows -- a valid stopping-time
+// threshold (Theorem 8) -- and that sample has at least m*k rows.
+#ifndef ATS_AQP_LAYOUT_H_
+#define ATS_AQP_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+struct AqpRow {
+  uint64_t key = 0;
+  double value = 0.0;                 // the queried metric
+  std::vector<double> weights;        // per-objective sampling weights
+  std::vector<double> priorities;     // per-objective S^j = U / w^j
+};
+
+class MultiObjectiveLayout {
+ public:
+  // Builds the layout: rows get coordinated priorities (one shared U per
+  // row), then are assigned to blocks of k rows per objective.
+  MultiObjectiveLayout(std::vector<AqpRow> rows, size_t block_k,
+                       uint64_t seed);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_objectives() const { return num_objectives_; }
+
+  // Rows of the b-th block, in assignment order.
+  std::vector<const AqpRow*> Block(size_t b) const;
+
+  // Reads the first m blocks and returns objective j's weighted sample
+  // with per-item thresholds (tau_j = min unread priority for j).
+  std::vector<SampleEntry> ReadSample(size_t m, size_t objective) const;
+
+  // The threshold tau_j after reading m blocks.
+  double ThresholdAfter(size_t m, size_t objective) const;
+
+  // Total rows read by the first m blocks.
+  size_t RowsRead(size_t m) const;
+
+ private:
+  size_t num_objectives_ = 0;
+  std::vector<AqpRow> rows_;
+  std::vector<std::vector<size_t>> blocks_;  // row indices per block
+};
+
+}  // namespace ats
+
+#endif  // ATS_AQP_LAYOUT_H_

@@ -1,0 +1,66 @@
+#include "ats/baselines/frequent_items.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+FrequentItemsSketch::FrequentItemsSketch(size_t table_size)
+    : capacity_(std::max<size_t>(1, table_size * 3 / 4)) {
+  ATS_CHECK(table_size >= 2);
+}
+
+void FrequentItemsSketch::Add(uint64_t item, int64_t count) {
+  ATS_CHECK(count > 0);
+  auto [it, inserted] = counts_.try_emplace(item, 0);
+  it->second += count;
+  if (inserted && counts_.size() > capacity_) Purge();
+}
+
+void FrequentItemsSketch::Purge() {
+  // Subtract the (approximate) median counter from everything and drop
+  // non-positive counters: the DataSketches batched decrement.
+  std::vector<int64_t> values;
+  values.reserve(counts_.size());
+  for (const auto& [item, c] : counts_) values.push_back(c);
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const int64_t median = std::max<int64_t>(1, values[mid]);
+  offset_ += median;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    it->second -= median;
+    it = it->second <= 0 ? counts_.erase(it) : std::next(it);
+  }
+}
+
+int64_t FrequentItemsSketch::EstimateUpper(uint64_t item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second + offset_;
+}
+
+int64_t FrequentItemsSketch::EstimateLower(uint64_t item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<uint64_t> FrequentItemsSketch::TopK(size_t k) const {
+  std::vector<std::pair<int64_t, uint64_t>> items;
+  items.reserve(counts_.size());
+  for (const auto& [item, c] : counts_) items.emplace_back(c, item);
+  const size_t kk = std::min(k, items.size());
+  std::partial_sort(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(kk),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<uint64_t> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(items[i].second);
+  return out;
+}
+
+}  // namespace ats

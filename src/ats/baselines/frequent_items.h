@@ -1,0 +1,57 @@
+// FrequentItems sketch: the Misra-Gries [23] variant with batched purges
+// used by Apache DataSketches [1, 2] -- the Figure 3 comparator.
+//
+// The sketch keeps a map of at most `capacity` counters. When the map
+// overflows, a purge subtracts the median counter value from every counter
+// and removes the non-positive ones (the batched equivalent of the classic
+// decrement-all step, which is what makes updates fast). `offset` tracks
+// the cumulative subtracted mass, so each tracked item's count estimate is
+// bounded by [count, count + offset]. Following Section 3.3, the effective
+// size reported for comparisons is 0.75x the allocated table.
+#ifndef ATS_BASELINES_FREQUENT_ITEMS_H_
+#define ATS_BASELINES_FREQUENT_ITEMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ats {
+
+class FrequentItemsSketch {
+ public:
+  // `table_size`: allocated hash-table size. The sketch purges when the
+  // number of tracked items exceeds 0.75 * table_size (the load factor the
+  // paper's comparison uses as the effective size).
+  explicit FrequentItemsSketch(size_t table_size);
+
+  void Add(uint64_t item, int64_t count = 1);
+
+  // Upper-bound estimate of the item's count (0 if untracked).
+  int64_t EstimateUpper(uint64_t item) const;
+
+  // Lower-bound (guaranteed) estimate.
+  int64_t EstimateLower(uint64_t item) const;
+
+  // Top-k items by upper-bound estimate, descending.
+  std::vector<uint64_t> TopK(size_t k) const;
+
+  // Number of tracked items.
+  size_t size() const { return counts_.size(); }
+
+  // 0.75 * table_size: the effective capacity / reported size.
+  size_t EffectiveCapacity() const { return capacity_; }
+
+  int64_t offset() const { return offset_; }
+
+ private:
+  void Purge();
+
+  size_t capacity_;
+  int64_t offset_ = 0;  // cumulative mass subtracted by purges
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_BASELINES_FREQUENT_ITEMS_H_

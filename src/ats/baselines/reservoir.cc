@@ -1,0 +1,37 @@
+#include "ats/baselines/reservoir.h"
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+ReservoirSampler::ReservoirSampler(size_t k, uint64_t seed)
+    : k_(k), rng_(seed) {
+  ATS_CHECK(k >= 1);
+}
+
+void ReservoirSampler::Add(uint64_t key) {
+  ++seen_;
+  if (sample_.size() < k_) {
+    sample_.push_back(key);
+    return;
+  }
+  const uint64_t j = rng_.NextBelow(static_cast<uint64_t>(seen_));
+  if (j < k_) sample_[j] = key;
+}
+
+WeightedReservoirSampler::WeightedReservoirSampler(size_t k, uint64_t seed)
+    : sketch_(k), rng_(seed) {}
+
+void WeightedReservoirSampler::Add(uint64_t key, double weight) {
+  ATS_CHECK(weight > 0.0);
+  sketch_.Offer(rng_.NextExponential() / weight, key);
+}
+
+std::vector<uint64_t> WeightedReservoirSampler::SampleKeys() const {
+  std::vector<uint64_t> out;
+  out.reserve(sketch_.size());
+  for (const auto& e : sketch_.entries()) out.push_back(e.payload);
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,59 @@
+// Reservoir sampling baselines.
+//
+// Both are adaptive-threshold samplers in disguise (Section 1.1, [13]):
+//  * Uniform reservoir (Algorithm R) == bottom-k over Uniform(0,1)
+//    priorities;
+//  * Weighted reservoir (Efraimidis-Spirakis A-Res) == bottom-k over
+//    priorities U^(1/w), equivalently exponential priorities -ln(U)/w.
+// They are used in tests and benches as independent cross-checks of the
+// bottom-k machinery.
+#ifndef ATS_BASELINES_RESERVOIR_H_
+#define ATS_BASELINES_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/random.h"
+
+namespace ats {
+
+// Classic Algorithm R uniform reservoir.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t k, uint64_t seed);
+
+  void Add(uint64_t key);
+
+  const std::vector<uint64_t>& sample() const { return sample_; }
+  int64_t seen() const { return seen_; }
+
+ private:
+  size_t k_;
+  Xoshiro256 rng_;
+  std::vector<uint64_t> sample_;
+  int64_t seen_ = 0;
+};
+
+// Efraimidis-Spirakis A-Res weighted reservoir: keeps the k items with the
+// k smallest exponential priorities -ln(U)/w, i.e. a weighted bottom-k.
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(size_t k, uint64_t seed);
+
+  void Add(uint64_t key, double weight);
+
+  // Sampled keys (unspecified order).
+  std::vector<uint64_t> SampleKeys() const;
+
+  double Threshold() const { return sketch_.Threshold(); }
+  size_t size() const { return sketch_.size(); }
+
+ private:
+  BottomK<uint64_t> sketch_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_BASELINES_RESERVOIR_H_

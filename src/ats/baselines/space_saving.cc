@@ -1,0 +1,85 @@
+#include "ats/baselines/space_saving.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+SpaceSavingBase::SpaceSavingBase(size_t capacity) : capacity_(capacity) {
+  ATS_CHECK(capacity >= 1);
+}
+
+void SpaceSavingBase::SetCount(uint64_t item, double count) {
+  const auto hit = handles_.find(item);
+  if (hit != handles_.end()) by_count_.erase(hit->second);
+  counts_[item] = count;
+  handles_[item] = by_count_.emplace(count, item);
+}
+
+void SpaceSavingBase::RemoveItem(uint64_t item) {
+  const auto hit = handles_.find(item);
+  ATS_CHECK(hit != handles_.end());
+  by_count_.erase(hit->second);
+  handles_.erase(hit);
+  counts_.erase(item);
+}
+
+void SpaceSavingBase::Add(uint64_t item) {
+  const auto it = counts_.find(item);
+  if (it != counts_.end()) {
+    SetCount(item, it->second + 1.0);
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    SetCount(item, 1.0);
+    return;
+  }
+  const auto min_it = by_count_.begin();
+  ReplaceMin(item, min_it->second, min_it->first);
+}
+
+double SpaceSavingBase::Estimate(uint64_t item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+double SpaceSavingBase::EstimatedSubsetCount(
+    const std::function<bool(uint64_t)>& in_subset) const {
+  double total = 0.0;
+  for (const auto& [item, c] : counts_) {
+    if (in_subset(item)) total += c;
+  }
+  return total;
+}
+
+std::vector<uint64_t> SpaceSavingBase::TopK(size_t k) const {
+  std::vector<uint64_t> out;
+  out.reserve(std::min(k, by_count_.size()));
+  for (auto it = by_count_.rbegin();
+       it != by_count_.rend() && out.size() < k; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void SpaceSaving::ReplaceMin(uint64_t item, uint64_t min_item,
+                             double min_count) {
+  RemoveItem(min_item);
+  SetCount(item, min_count + 1.0);
+}
+
+void UnbiasedSpaceSaving::ReplaceMin(uint64_t item, uint64_t min_item,
+                                     double min_count) {
+  // The min counter grows by 1 unconditionally; ownership transfers to the
+  // newcomer with probability 1/(min_count + 1), which makes each item's
+  // count estimate unbiased (Unbiased Space-Saving, [30]).
+  if (rng_.NextDouble() * (min_count + 1.0) < 1.0) {
+    RemoveItem(min_item);
+    SetCount(item, min_count + 1.0);
+  } else {
+    SetCount(min_item, min_count + 1.0);
+  }
+}
+
+}  // namespace ats

@@ -1,0 +1,89 @@
+// Space-Saving [22] and Unbiased Space-Saving [30] sketches.
+//
+// Space-Saving keeps exactly `capacity` counters; an untracked arrival
+// replaces the minimum counter and inherits its count + 1 (deterministic,
+// overestimates). Unbiased Space-Saving replaces the *probabilistic*
+// variant: the new item takes over the minimum counter with probability
+// 1/(c_min + 1), which makes every count estimate unbiased and supports
+// disaggregated subset sums -- it is the conceptual ancestor of the
+// adaptive top-k sampler of Section 3.3.
+#ifndef ATS_BASELINES_SPACE_SAVING_H_
+#define ATS_BASELINES_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+class SpaceSavingBase {
+ public:
+  explicit SpaceSavingBase(size_t capacity);
+  virtual ~SpaceSavingBase() = default;
+
+  void Add(uint64_t item);
+
+  // Count estimate (0 if untracked). For classic Space-Saving this is an
+  // upper bound; for Unbiased Space-Saving it is unbiased.
+  double Estimate(uint64_t item) const;
+
+  // Sum of estimates over a key subset (unbiased for the unbiased variant:
+  // the disaggregated subset sum of [30]).
+  double EstimatedSubsetCount(
+      const std::function<bool(uint64_t)>& in_subset) const;
+
+  std::vector<uint64_t> TopK(size_t k) const;
+
+  size_t size() const { return counts_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ protected:
+  // Handles an untracked arrival when the sketch is full. `min_item` is a
+  // minimum-count item and `min_count` its count.
+  virtual void ReplaceMin(uint64_t item, uint64_t min_item,
+                          double min_count) = 0;
+
+  void SetCount(uint64_t item, double count);
+  void RemoveItem(uint64_t item);
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint64_t, double> counts_;
+  // count -> item multimap to find a minimum quickly.
+  std::multimap<double, uint64_t> by_count_;
+  std::unordered_map<uint64_t, std::multimap<double, uint64_t>::iterator>
+      handles_;
+};
+
+// Classic (deterministic) Space-Saving: new item inherits min_count + 1.
+class SpaceSaving : public SpaceSavingBase {
+ public:
+  explicit SpaceSaving(size_t capacity) : SpaceSavingBase(capacity) {}
+
+ protected:
+  void ReplaceMin(uint64_t item, uint64_t min_item,
+                  double min_count) override;
+};
+
+// Unbiased Space-Saving [30]: new item takes the min counter with
+// probability 1/(min_count + 1); estimates are exactly unbiased.
+class UnbiasedSpaceSaving : public SpaceSavingBase {
+ public:
+  UnbiasedSpaceSaving(size_t capacity, uint64_t seed)
+      : SpaceSavingBase(capacity), rng_(seed) {}
+
+ protected:
+  void ReplaceMin(uint64_t item, uint64_t min_item,
+                  double min_count) override;
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_BASELINES_SPACE_SAVING_H_

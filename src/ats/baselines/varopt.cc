@@ -1,0 +1,99 @@
+#include "ats/baselines/varopt.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+VarOptSampler::VarOptSampler(size_t k, uint64_t seed) : k_(k), rng_(seed) {
+  ATS_CHECK(k >= 1);
+}
+
+size_t VarOptSampler::size() const { return large_.size() + small_.size(); }
+
+void VarOptSampler::Add(uint64_t key, double weight) {
+  ATS_CHECK(weight > 0.0);
+  if (size() < k_) {
+    large_.emplace(weight, key);
+    return;
+  }
+  // Overflow step: k+1 items. Find the new threshold tau' solving
+  // sum_i min(1, w_i / tau') = k over current adjusted weights (small
+  // items all carry tau), then drop exactly one item with probability
+  // proportional to 1 - min(1, w_i / tau').
+  large_.emplace(weight, key);
+  double small_mass = tau_ * static_cast<double>(small_.size());
+  std::vector<std::pair<double, uint64_t>> moved;  // demoted large items
+  // Demote the smallest "large" items while they fall below the candidate
+  // threshold.
+  for (;;) {
+    const size_t num_large = large_.size();
+    ATS_DCHECK(num_large + small_.size() + moved.size() == k_ + 1);
+    if (num_large == 0) break;
+    const double w_min = large_.begin()->first;
+    const bool must_move =
+        num_large > k_ ||
+        w_min * static_cast<double>(k_ - num_large) < small_mass;
+    if (!must_move) break;
+    moved.push_back(*large_.begin());
+    small_mass += w_min;
+    large_.erase(large_.begin());
+  }
+  const size_t num_large = large_.size();
+  ATS_CHECK(num_large < k_ + 1);
+  const double tau_new =
+      small_mass / static_cast<double>(k_ - num_large);
+  ATS_DCHECK(tau_new >= tau_ - 1e-12);
+
+  // Drop one item: old small items each have probability 1 - tau/tau',
+  // demoted items 1 - w/tau'; the probabilities sum to exactly 1.
+  double u = rng_.NextDouble();
+  bool dropped = false;
+  for (size_t i = 0; i < moved.size(); ++i) {
+    const double q = 1.0 - moved[i].first / tau_new;
+    if (u < q) {
+      moved.erase(moved.begin() + static_cast<std::ptrdiff_t>(i));
+      dropped = true;
+      break;
+    }
+    u -= q;
+  }
+  if (!dropped && small_.empty()) {
+    // Floating-point slack: all drop mass was on demoted items.
+    ATS_CHECK(!moved.empty());
+    moved.pop_back();
+    dropped = true;
+  }
+  if (!dropped) {
+    const double q_old = 1.0 - tau_ / tau_new;
+    const size_t idx =
+        q_old > 0.0 ? std::min(small_.size() - 1,
+                               static_cast<size_t>(u / q_old))
+                    : small_.size() - 1;
+    small_[idx] = small_.back();
+    small_.pop_back();
+  }
+  for (const auto& [w, moved_key] : moved) small_.push_back(moved_key);
+  tau_ = tau_new;
+}
+
+std::vector<VarOptSampler::Entry> VarOptSampler::Sample() const {
+  std::vector<Entry> out;
+  out.reserve(size());
+  for (const auto& [w, key] : large_) {
+    out.push_back(Entry{key, w, std::max(w, tau_)});
+  }
+  for (uint64_t key : small_) {
+    out.push_back(Entry{key, tau_, tau_});
+  }
+  return out;
+}
+
+double VarOptSampler::EstimateTotal() const {
+  double total = tau_ * static_cast<double>(small_.size());
+  for (const auto& [w, key] : large_) total += std::max(w, tau_);
+  return total;
+}
+
+}  // namespace ats

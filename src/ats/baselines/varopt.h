@@ -1,0 +1,63 @@
+// VarOpt sampling (Cohen, Duffield, Kaplan, Lund, Thorup [7]):
+// variance-optimal fixed-size weighted sampling without replacement,
+// referenced in Section 1.1 as the other main technique for drawing
+// exactly-k weighted samples.
+//
+// The sketch keeps k items split into "large" items (retained with
+// probability 1, carrying their exact weights) and "small" items
+// (retained with adjusted weight tau, the threshold solving
+// sum_i min(1, w_i/tau) = k). The subset-sum estimator assigns each
+// retained item the value max(w_i, tau). VarOpt minimizes the variance of
+// subset-sum estimates among all k-size designs (it implements the ideal
+// inclusion probabilities min(1, w_i/tau)), so it is the quality bar the
+// adaptive bottom-k samplers are measured against in the ablation bench.
+#ifndef ATS_BASELINES_VAROPT_H_
+#define ATS_BASELINES_VAROPT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+class VarOptSampler {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    double weight = 0.0;           // original weight
+    double adjusted_weight = 0.0;  // estimator value: max(weight, tau)
+  };
+
+  VarOptSampler(size_t k, uint64_t seed);
+
+  // Feeds one weighted item.
+  void Add(uint64_t key, double weight);
+
+  // Current threshold tau (0 while underfull).
+  double Tau() const { return tau_; }
+
+  size_t size() const;
+  size_t k() const { return k_; }
+
+  // The retained sample with adjusted weights; summing adjusted weights
+  // over a key subset is an unbiased subset-sum estimate.
+  std::vector<Entry> Sample() const;
+
+  // Unbiased estimate of the total weight (== sum of adjusted weights).
+  double EstimateTotal() const;
+
+ private:
+  size_t k_;
+  Xoshiro256 rng_;
+  double tau_ = 0.0;
+  // Large items (weight > tau), keyed for O(log) smallest-large access.
+  std::multimap<double, uint64_t> large_;  // weight -> key
+  // Small items (adjusted weight tau each).
+  std::vector<uint64_t> small_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_BASELINES_VAROPT_H_

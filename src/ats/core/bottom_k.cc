@@ -1,0 +1,26 @@
+#include "ats/core/bottom_k.h"
+
+namespace ats {
+
+PrioritySampler::PrioritySampler(size_t k, uint64_t seed, bool coordinated)
+    : sketch_(k), rng_(seed), coordinated_(coordinated) {}
+
+void PrioritySampler::Add(uint64_t key, double weight) {
+  const PriorityDist dist = PriorityDist::WeightedUniform(weight);
+  const double priority = coordinated_ ? dist.FromHash(HashKey(key))
+                                       : dist.Sample(rng_);
+  sketch_.Offer(priority, Item{key, weight});
+}
+
+std::vector<SampleEntry> PrioritySampler::Sample() const {
+  std::vector<SampleEntry> out;
+  out.reserve(sketch_.size());
+  const double t = sketch_.Threshold();
+  for (const auto& e : sketch_.entries()) {
+    out.push_back(
+        MakeWeightedEntry(e.payload.key, e.payload.weight, e.priority, t));
+  }
+  return out;
+}
+
+}  // namespace ats

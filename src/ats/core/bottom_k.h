@@ -1,0 +1,169 @@
+// Bottom-k sketch: the canonical substitutable adaptive threshold
+// (Section 2.5.1).
+//
+// The sketch retains the k items with smallest priorities seen so far; the
+// adaptive threshold is the (k+1)-th smallest priority. Recalibrating any
+// sampled item's priority to -infinity leaves the threshold unchanged, so
+// the threshold is fully substitutable (Theorem 6) and the plain HT
+// estimator with pi_i = F_i(T) is unbiased (Corollary 3). With
+// WeightedUniform priorities this is exactly priority sampling [12]; with
+// hashed Uniform priorities it is the KMV distinct-counting sketch.
+#ifndef ATS_CORE_BOTTOM_K_H_
+#define ATS_CORE_BOTTOM_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "ats/core/priority.h"
+#include "ats/core/threshold.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+// Generic bottom-k container over (priority, payload) pairs.
+//
+// Offer() is O(log k); Threshold() is O(1). The threshold starts at
+// +infinity and becomes finite once k+1 distinct offers have been seen,
+// after which it equals the (k+1)-th smallest priority ever offered.
+template <typename Payload>
+class BottomK {
+ public:
+  struct Entry {
+    double priority;
+    Payload payload;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.priority < b.priority;  // max-heap orders by priority
+    }
+  };
+
+  explicit BottomK(size_t k) : k_(k) { ATS_CHECK(k >= 1); }
+
+  // Offers an item. Returns true iff the item is retained (i.e. its
+  // priority is below the current threshold and it enters the sketch).
+  bool Offer(double priority, Payload payload) {
+    if (priority >= threshold_) return false;
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{priority, std::move(payload)});
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (priority >= heap_.front().priority) {
+      // Not among the k smallest: its priority is a new (k+1)-th candidate.
+      threshold_ = std::min(threshold_, priority);
+      return false;
+    }
+    // Evict the current max; the evicted priority becomes the threshold.
+    std::pop_heap(heap_.begin(), heap_.end());
+    threshold_ = std::min(threshold_, heap_.back().priority);
+    heap_.back() = Entry{priority, std::move(payload)};
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+
+  // The adaptive threshold: (k+1)-th smallest priority seen, or +infinity
+  // while fewer than k+1 items have been offered.
+  double Threshold() const { return threshold_; }
+
+  // Largest retained priority (the k-th smallest seen). Only valid when
+  // size() > 0.
+  double MaxRetainedPriority() const {
+    ATS_CHECK(!heap_.empty());
+    return heap_.front().priority;
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+  bool saturated() const { return threshold_ != kInfiniteThreshold; }
+
+  // Retained entries in unspecified (heap) order.
+  const std::vector<Entry>& entries() const { return heap_; }
+
+  // Retained entries sorted by ascending priority.
+  std::vector<Entry> SortedEntries() const {
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.priority < b.priority;
+              });
+    return out;
+  }
+
+  // Merges another bottom-k sketch over a disjoint stream: the result is
+  // the bottom-k sketch of the concatenated streams. The threshold is the
+  // min of both thresholds and of any priority evicted while merging.
+  void Merge(const BottomK& other) {
+    threshold_ = std::min(threshold_, other.threshold_);
+    for (const Entry& e : other.heap_) {
+      if (e.priority < threshold_) Offer(e.priority, e.payload);
+    }
+    // Offers above may have raised nothing; entries at/above threshold must
+    // be purged so the invariant "retained iff priority < threshold" holds.
+    PurgeAboveThreshold();
+  }
+
+  // Removes retained entries with priority >= Threshold(). Needed after
+  // merges or external threshold reductions.
+  void PurgeAboveThreshold() {
+    if (threshold_ == kInfiniteThreshold) return;
+    std::vector<Entry> kept;
+    kept.reserve(heap_.size());
+    for (Entry& e : heap_) {
+      if (e.priority < threshold_) kept.push_back(std::move(e));
+    }
+    heap_ = std::move(kept);
+    std::make_heap(heap_.begin(), heap_.end());
+  }
+
+  // Externally lowers the threshold (used by threshold composition); purges
+  // entries that fall outside.
+  void LowerThreshold(double t) {
+    if (t < threshold_) {
+      threshold_ = t;
+      PurgeAboveThreshold();
+    }
+  }
+
+ private:
+  size_t k_;
+  double threshold_ = kInfiniteThreshold;
+  std::vector<Entry> heap_;  // max-heap on priority; size <= k_
+};
+
+// Priority sampling (weighted bottom-k) over keyed, weighted items.
+//
+// Each item draws priority R = U/w (coordinated via its key hash when
+// `coordinated` is true, independent otherwise). The sample supports
+// unbiased subset-sum estimation through estimators/subset_sum.h.
+class PrioritySampler {
+ public:
+  struct Item {
+    uint64_t key;
+    double weight;
+  };
+
+  // `seed` drives independent priorities; ignored when coordinated.
+  PrioritySampler(size_t k, uint64_t seed = 1, bool coordinated = false);
+
+  // Feeds one weighted item.
+  void Add(uint64_t key, double weight);
+
+  // Current adaptive threshold tau.
+  double Threshold() const { return sketch_.Threshold(); }
+
+  size_t size() const { return sketch_.size(); }
+
+  // Sample entries (with per-item inclusion probabilities) for estimators.
+  std::vector<SampleEntry> Sample() const;
+
+  const BottomK<Item>& sketch() const { return sketch_; }
+
+ private:
+  BottomK<Item> sketch_;
+  Xoshiro256 rng_;
+  bool coordinated_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_CORE_BOTTOM_K_H_

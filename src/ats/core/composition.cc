@@ -1,0 +1,58 @@
+#include "ats/core/composition.h"
+
+#include <algorithm>
+
+#include "ats/core/threshold.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+std::vector<double> ComposeMin(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  ATS_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return out;
+}
+
+std::vector<double> ComposeMax(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  ATS_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+ThresholdingRule MinRule(std::vector<ThresholdingRule> rules) {
+  ATS_CHECK(!rules.empty());
+  return [rules = std::move(rules)](const std::vector<double>& priorities) {
+    std::vector<double> t = rules[0](priorities);
+    for (size_t r = 1; r < rules.size(); ++r) {
+      t = ComposeMin(t, rules[r](priorities));
+    }
+    return t;
+  };
+}
+
+ThresholdingRule MaxRule(std::vector<ThresholdingRule> rules) {
+  ATS_CHECK(!rules.empty());
+  return [rules = std::move(rules)](const std::vector<double>& priorities) {
+    std::vector<double> t = rules[0](priorities);
+    for (size_t r = 1; r < rules.size(); ++r) {
+      t = ComposeMax(t, rules[r](priorities));
+    }
+    return t;
+  };
+}
+
+ThresholdingRule GlobalMinRule(ThresholdingRule rule) {
+  return [rule = std::move(rule)](const std::vector<double>& priorities) {
+    std::vector<double> t = rule(priorities);
+    double m = kInfiniteThreshold;
+    for (double x : t) m = std::min(m, x);
+    std::fill(t.begin(), t.end(), m);
+    return t;
+  };
+}
+
+}  // namespace ats

@@ -1,0 +1,46 @@
+// Threshold composition (Section 2.8, Theorem 9).
+//
+// Composing thresholding rules preserves the substitutability properties
+// the paper's estimators need:
+//   * pointwise MIN of fully (or d-) substitutable rules stays fully (d-)
+//     substitutable;
+//   * pointwise MAX of 1-substitutable rules stays 1-substitutable
+//     (and, when the composed threshold is constant across items, Theorem 6
+//     upgrades this to full substitutability).
+// These combinators power the multi-stratified sampler (max of per-stratum
+// bottom-k), the sliding-window improvement (min of per-item thresholds),
+// and sketch merges (max for LCS unions).
+#ifndef ATS_CORE_COMPOSITION_H_
+#define ATS_CORE_COMPOSITION_H_
+
+#include <vector>
+
+#include "ats/core/recalibration.h"
+
+namespace ats {
+
+// Pointwise minimum of per-item threshold vectors (equal lengths).
+std::vector<double> ComposeMin(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+// Pointwise maximum of per-item threshold vectors (equal lengths).
+std::vector<double> ComposeMax(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+// Rule combinator: item-wise min of the rules' thresholds. Preserves full
+// and d-substitutability (Theorem 9).
+ThresholdingRule MinRule(std::vector<ThresholdingRule> rules);
+
+// Rule combinator: item-wise max of the rules' thresholds. Preserves
+// 1-substitutability (Theorem 9).
+ThresholdingRule MaxRule(std::vector<ThresholdingRule> rules);
+
+// Rule that broadcasts the global minimum of another rule's thresholds to
+// every item. Used by the improved sliding-window threshold: taking the min
+// over the current window makes the threshold constant, and a constant
+// 1-substitutable threshold is fully substitutable by Theorem 6.
+ThresholdingRule GlobalMinRule(ThresholdingRule rule);
+
+}  // namespace ats
+
+#endif  // ATS_CORE_COMPOSITION_H_

@@ -1,0 +1,110 @@
+#include "ats/core/cps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+ConditionalPoissonSampler::ConditionalPoissonSampler(
+    std::vector<double> working_probabilities, size_t k)
+    : p_(std::move(working_probabilities)), k_(k) {
+  ATS_CHECK(k_ >= 1 && k_ <= p_.size());
+  for (double p : p_) ATS_CHECK(p > 0.0 && p < 1.0);
+  BuildTailTable();
+  ATS_CHECK_MSG(tail_[0][k_] > 0.0, "sample size k has zero probability");
+}
+
+void ConditionalPoissonSampler::BuildTailTable() {
+  const size_t n = p_.size();
+  // tail_[i][j], j in [0, min(k, n-i)]: Poisson-binomial tail DP.
+  tail_.assign(n + 1, std::vector<double>(k_ + 1, 0.0));
+  tail_[n][0] = 1.0;
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = 0; j <= k_; ++j) {
+      double v = (1.0 - p_[i]) * tail_[i + 1][j];
+      if (j > 0) v += p_[i] * tail_[i + 1][j - 1];
+      tail_[i][j] = v;
+    }
+  }
+}
+
+std::vector<size_t> ConditionalPoissonSampler::Draw(Xoshiro256& rng) const {
+  // Sequential conditional draw: include item i with probability
+  //   p_i * P(need-1 of the rest) / P(need of items i..n-1).
+  std::vector<size_t> sample;
+  sample.reserve(k_);
+  size_t need = k_;
+  for (size_t i = 0; i < p_.size() && need > 0; ++i) {
+    const double denom = tail_[i][need];
+    ATS_DCHECK(denom > 0.0);
+    const double include = p_[i] * tail_[i + 1][need - 1] / denom;
+    if (rng.NextDouble() < include) {
+      sample.push_back(i);
+      --need;
+    }
+  }
+  ATS_CHECK(need == 0);
+  return sample;
+}
+
+const std::vector<double>&
+ConditionalPoissonSampler::InclusionProbabilities() const {
+  if (!inclusion_.empty()) return inclusion_;
+  const size_t n = p_.size();
+  inclusion_.resize(n);
+  // pi_i = p_i * P(k-1 successes among the others) / P(k successes).
+  // Leave-one-out counts via a forward DP combined with the tail table:
+  // head[j] = P(exactly j of items 0..i-1 included).
+  std::vector<double> head(k_ + 1, 0.0);
+  head[0] = 1.0;
+  const double total = tail_[0][k_];
+  for (size_t i = 0; i < n; ++i) {
+    // P(k-1 among others) = sum_j head[j] * tail_{i+1}[k-1-j].
+    double others = 0.0;
+    for (size_t j = 0; j + 1 <= k_; ++j) {
+      others += head[j] * tail_[i + 1][k_ - 1 - j];
+    }
+    inclusion_[i] = p_[i] * others / total;
+    // Advance the head DP over item i.
+    for (size_t j = k_; j > 0; --j) {
+      head[j] = head[j] * (1.0 - p_[i]) + head[j - 1] * p_[i];
+    }
+    head[0] *= 1.0 - p_[i];
+  }
+  return inclusion_;
+}
+
+std::vector<double> CpsWorkingProbabilities(
+    const std::vector<double>& target_inclusion, size_t k, double tol,
+    int max_iterations) {
+  const size_t n = target_inclusion.size();
+  ATS_CHECK(k >= 1 && k <= n);
+  double target_sum = 0.0;
+  for (double t : target_inclusion) {
+    ATS_CHECK(t > 0.0 && t < 1.0);
+    target_sum += t;
+  }
+  ATS_CHECK_MSG(std::abs(target_sum - double(k)) < 1e-6,
+                "target inclusion probabilities must sum to k");
+  // Fixed point on working probabilities: p <- p * target / realized.
+  std::vector<double> p = target_inclusion;
+  for (int it = 0; it < max_iterations; ++it) {
+    ConditionalPoissonSampler sampler(p, k);
+    const auto& realized = sampler.InclusionProbabilities();
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(realized[i] - target_inclusion[i]));
+    }
+    if (err < tol) break;
+    for (size_t i = 0; i < n; ++i) {
+      const double odds = p[i] / (1.0 - p[i]) * target_inclusion[i] /
+                          std::max(realized[i], 1e-12);
+      p[i] = std::clamp(odds / (1.0 + odds), 1e-9, 1.0 - 1e-9);
+    }
+  }
+  return p;
+}
+
+}  // namespace ats

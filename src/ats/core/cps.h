@@ -1,0 +1,64 @@
+// Conditional Poisson Sampling (Section 2.2; Tillé [28]).
+//
+// CPS is the fixed-size design the paper motivates adaptive thresholds
+// against: condition a Poisson design with working probabilities p_i on
+// the sample size being exactly k. It is the maximum-entropy design for
+// its inclusion probabilities, but no streaming algorithm exists -- exact
+// sampling and inclusion probabilities need O(n k) dynamic programming
+// over the Poisson-binomial distribution, and that is precisely why
+// bottom-k style adaptive thresholds matter in practice.
+//
+// This implementation is exact and intended for moderate n (thousands):
+// it provides the reference design for tests and for the ablation bench
+// that compares bottom-k sampling against CPS inclusion probabilities and
+// cost.
+#ifndef ATS_CORE_CPS_H_
+#define ATS_CORE_CPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+class ConditionalPoissonSampler {
+ public:
+  // Working probabilities p_i in (0, 1); sample size k <= n.
+  ConditionalPoissonSampler(std::vector<double> working_probabilities,
+                            size_t k);
+
+  // Draws one exact CPS sample (indices into the probability vector,
+  // ascending). O(n k) per draw after O(n k) setup.
+  std::vector<size_t> Draw(Xoshiro256& rng) const;
+
+  // Exact first-order inclusion probabilities pi_i = P(i in sample).
+  // O(n^2 k) once, cached.
+  const std::vector<double>& InclusionProbabilities() const;
+
+  size_t n() const { return p_.size(); }
+  size_t k() const { return k_; }
+
+ private:
+  // tail_[i][j] = P(exactly j of items i..n-1 are included) under the
+  // independent Poisson design.
+  void BuildTailTable();
+
+  std::vector<double> p_;
+  size_t k_;
+  std::vector<std::vector<double>> tail_;
+  mutable std::vector<double> inclusion_;  // lazily computed
+};
+
+// Solves for CPS working probabilities that realize the PPS targets
+// pi_i = k * w_i / sum(w) (clipped at 1), via fixed-point iteration on
+// the working odds. Returns working probabilities usable with
+// ConditionalPoissonSampler so that its realized inclusion probabilities
+// match `target_inclusion` to within `tol`.
+std::vector<double> CpsWorkingProbabilities(
+    const std::vector<double>& target_inclusion, size_t k,
+    double tol = 1e-8, int max_iterations = 200);
+
+}  // namespace ats
+
+#endif  // ATS_CORE_CPS_H_

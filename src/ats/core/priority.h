@@ -1,0 +1,112 @@
+// Priority distributions (Section 2.1 of the paper).
+//
+// Each item x_i carries an independent random "priority" R_i with CDF F_i.
+// The item is sampled iff R_i < T_i for a (possibly adaptive) threshold
+// T_i, so its pseudo-inclusion probability is F_i(T_i). This header
+// provides the priority families used throughout the paper:
+//
+//  * UniformPriority        R = U ~ Uniform(0,1);         F(t) = clamp(t,0,1)
+//  * WeightedUniformPriority R = U/w ~ Uniform(0,1/w);    F(t) = min(1, w t)
+//    (the priority-sampling / PPS family [12]; weight w > 0)
+//  * ExponentialPriority    R ~ Exponential(rate w);      F(t) = 1 - e^{-wt}
+//    (bottom-k order sampling with exponential ranks; asymptotically
+//    equivalent to WeightedUniformPriority by Theorem 12)
+//
+// The priority-threshold duality of Section 2.9: an item with priority
+// R = F^{-1}(U) and threshold T is included iff U < F(T), so rescaling
+// priorities is equivalent to rescaling thresholds. PriorityDist exposes
+// Cdf / InverseCdf so samplers can work on either side of the duality.
+#ifndef ATS_CORE_PRIORITY_H_
+#define ATS_CORE_PRIORITY_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/core/random.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+// Kind discriminator for the closed set of priority families the library
+// ships. A small tagged value type (rather than a virtual hierarchy) keeps
+// priorities trivially copyable and cheap to store per sample entry.
+enum class PriorityFamily {
+  kUniform,           // R ~ Uniform(0, 1)
+  kWeightedUniform,   // R ~ Uniform(0, 1/w)
+  kExponential,       // R ~ Exponential(rate w)
+};
+
+// A per-item priority distribution. Value type: copyable, 16 bytes.
+class PriorityDist {
+ public:
+  // Uniform(0,1): the unweighted / distinct-counting case.
+  static PriorityDist Uniform() {
+    return PriorityDist(PriorityFamily::kUniform, 1.0);
+  }
+
+  // Uniform(0, 1/weight): priority sampling with the given weight.
+  static PriorityDist WeightedUniform(double weight) {
+    ATS_CHECK(weight > 0.0);
+    return PriorityDist(PriorityFamily::kWeightedUniform, weight);
+  }
+
+  // Exponential with the given rate (larger rate => smaller priorities =>
+  // more likely sampled).
+  static PriorityDist Exponential(double rate) {
+    ATS_CHECK(rate > 0.0);
+    return PriorityDist(PriorityFamily::kExponential, rate);
+  }
+
+  PriorityFamily family() const { return family_; }
+  double weight() const { return weight_; }
+
+  // CDF F(t) = P(R < t). Clamped to [0, 1].
+  double Cdf(double t) const {
+    if (t <= 0.0) return 0.0;
+    switch (family_) {
+      case PriorityFamily::kUniform:
+        return std::min(t, 1.0);
+      case PriorityFamily::kWeightedUniform:
+        return std::min(weight_ * t, 1.0);
+      case PriorityFamily::kExponential:
+        return -std::expm1(-weight_ * t);
+    }
+    return 0.0;  // unreachable
+  }
+
+  // Inverse CDF: F^{-1}(u) for u in [0, 1).
+  double InverseCdf(double u) const {
+    ATS_DCHECK(u >= 0.0 && u <= 1.0);
+    switch (family_) {
+      case PriorityFamily::kUniform:
+        return u;
+      case PriorityFamily::kWeightedUniform:
+        return u / weight_;
+      case PriorityFamily::kExponential:
+        return -std::log1p(-u) / weight_;
+    }
+    return 0.0;  // unreachable
+  }
+
+  // Draws a priority using the generator. Never returns exactly 0 so
+  // downstream code may divide by priorities.
+  double Sample(Xoshiro256& rng) const {
+    return InverseCdf(rng.NextDoubleOpenZero());
+  }
+
+  // Draws the coordinated priority determined by a 64-bit item hash: the
+  // same (hash, distribution) pair always yields the same priority. This is
+  // the mechanism behind coordinated samples, distinct counting, and merges.
+  double FromHash(uint64_t hash) const { return InverseCdf(HashToUnit(hash)); }
+
+ private:
+  PriorityDist(PriorityFamily family, double weight)
+      : family_(family), weight_(weight) {}
+
+  PriorityFamily family_;
+  double weight_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_CORE_PRIORITY_H_

@@ -1,0 +1,84 @@
+#include "ats/core/random.h"
+
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::NextDoubleOpenZero() {
+  return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+uint64_t Xoshiro256::NextBelow(uint64_t n) {
+  ATS_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = std::numeric_limits<uint64_t>::max() -
+                         std::numeric_limits<uint64_t>::max() % n;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Xoshiro256::NextExponential() {
+  return -std::log(NextDoubleOpenZero());
+}
+
+double Xoshiro256::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * m;
+  have_gaussian_ = true;
+  return u * m;
+}
+
+uint64_t HashBytes(std::string_view bytes, uint64_t salt) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(salt);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace ats

@@ -1,0 +1,106 @@
+// Deterministic random-number and hashing utilities.
+//
+// Adaptive threshold sampling relies on two distinct sources of randomness:
+//
+//  * Per-stream pseudo-random priorities (e.g. Uniform(0,1) draws). These
+//    use Xoshiro256++, seeded via SplitMix64, so every experiment is
+//    reproducible from a single 64-bit seed.
+//  * Hash-derived priorities for *coordinated* samples: the same item must
+//    map to the same priority in every sketch (distinct counting, merges,
+//    distributed sampling). These use a strong 64-bit finalizer over the
+//    item key plus a sketch-family salt.
+#ifndef ATS_CORE_RANDOM_H_
+#define ATS_CORE_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace ats {
+
+// SplitMix64: tiny generator used for seeding and cheap stateless hashing.
+// Passes BigCrush when used as a 64-bit mixer. See Vigna (2015).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256++: the library's workhorse PRNG. Satisfies the C++
+// UniformRandomBitGenerator concept so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Uniform double in (0, 1]: never returns 0, so 1/x and -log(x) are safe.
+  double NextDoubleOpenZero();
+
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  // Standard exponential deviate (rate 1).
+  double NextExponential();
+
+  // Standard normal deviate via Marsaglia polar method.
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Stateless 64-bit mix (MurmurHash3 fmix64). Good avalanche behaviour;
+// used to derive coordinated priorities from item identities.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Hash of a byte string (FNV-1a folded through Mix64). Deterministic across
+// runs and platforms.
+uint64_t HashBytes(std::string_view bytes, uint64_t salt = 0);
+
+// Hash of an integer key with a salt.
+inline uint64_t HashKey(uint64_t key, uint64_t salt = 0) {
+  return Mix64(key + 0x9e3779b97f4a7c15ULL * (salt + 1));
+}
+
+// Maps a 64-bit hash to a double in (0, 1]: the canonical "hash priority"
+// for coordinated/distinct-count samples. Open at zero so estimators may
+// divide by the priority.
+inline double HashToUnit(uint64_t h) {
+  // 2^-64 * (h + 1): h = 2^64-1 maps to 1.0, h = 0 maps to 2^-64 > 0.
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace ats
+
+#endif  // ATS_CORE_RANDOM_H_

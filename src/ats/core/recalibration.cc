@@ -1,0 +1,153 @@
+#include "ats/core/recalibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ats/core/threshold.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+std::vector<double> RecalibratedThresholds(const ThresholdingRule& rule,
+                                           std::vector<double> priorities,
+                                           const std::vector<size_t>& lambda,
+                                           double floor) {
+  for (size_t i : lambda) {
+    ATS_CHECK(i < priorities.size());
+    priorities[i] = floor;
+  }
+  return rule(priorities);
+}
+
+bool SubsetSubstitutableHere(const ThresholdingRule& rule,
+                             const std::vector<double>& priorities,
+                             const std::vector<size_t>& lambda, double floor,
+                             double tol) {
+  const std::vector<double> original = rule(priorities);
+  ATS_CHECK(original.size() == priorities.size());
+  // The condition only constrains realizations where all of lambda is
+  // sampled under the original thresholds.
+  for (size_t i : lambda) {
+    if (!(priorities[i] < original[i])) return true;  // vacuous
+  }
+  const std::vector<double> recal =
+      RecalibratedThresholds(rule, priorities, lambda, floor);
+  for (size_t i : lambda) {
+    if (std::abs(recal[i] - original[i]) > tol) return false;
+  }
+  return true;
+}
+
+SubstitutabilityReport CheckSubstitutability(const ThresholdingRule& rule,
+                                             size_t n, int trials,
+                                             size_t max_subset_size,
+                                             uint64_t seed, double floor) {
+  Xoshiro256 rng(seed);
+  SubstitutabilityReport report;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> priorities(n);
+    for (double& p : priorities) p = rng.NextDoubleOpenZero();
+    const std::vector<double> thresholds = rule(priorities);
+    ATS_CHECK(thresholds.size() == n);
+    std::vector<size_t> sampled;
+    for (size_t i = 0; i < n; ++i) {
+      if (priorities[i] < thresholds[i]) sampled.push_back(i);
+    }
+    if (sampled.empty()) continue;
+    // Random subset of the realized sample, size 1..max_subset_size.
+    const size_t subset_size = 1 + static_cast<size_t>(rng.NextBelow(
+                                       std::min(max_subset_size,
+                                                sampled.size())));
+    std::vector<size_t> lambda;
+    for (size_t j = 0; j < subset_size; ++j) {
+      lambda.push_back(sampled[rng.NextBelow(sampled.size())]);
+    }
+    std::sort(lambda.begin(), lambda.end());
+    lambda.erase(std::unique(lambda.begin(), lambda.end()), lambda.end());
+    ++report.trials;
+    if (!SubsetSubstitutableHere(rule, priorities, lambda, floor)) {
+      ++report.violations;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Broadcasts one scalar threshold to all n items.
+std::vector<double> Broadcast(double t, size_t n) {
+  return std::vector<double>(n, t);
+}
+
+}  // namespace
+
+ThresholdingRule BottomKRule(size_t k) {
+  return [k](const std::vector<double>& priorities) {
+    const size_t n = priorities.size();
+    if (n <= k) return Broadcast(kInfiniteThreshold, n);
+    std::vector<double> sorted = priorities;
+    std::nth_element(sorted.begin(), sorted.begin() + k, sorted.end());
+    return Broadcast(sorted[k], n);  // (k+1)-th smallest
+  };
+}
+
+ThresholdingRule BudgetRule(std::vector<double> sizes, double budget) {
+  return [sizes = std::move(sizes),
+          budget](const std::vector<double>& priorities) {
+    const size_t n = priorities.size();
+    ATS_CHECK(sizes.size() == n);
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return priorities[a] < priorities[b];
+    });
+    double used = 0.0;
+    for (size_t i : order) {
+      used += sizes[i];
+      if (used > budget) return Broadcast(priorities[i], n);
+    }
+    return Broadcast(kInfiniteThreshold, n);
+  };
+}
+
+ThresholdingRule SequentialBottomKRule(size_t k) {
+  return [k](const std::vector<double>& priorities) {
+    const size_t n = priorities.size();
+    std::vector<double> thresholds(n, kInfiniteThreshold);
+    std::vector<double> heap;  // max-heap of the k smallest prefix priorities
+    double prefix_threshold = kInfiniteThreshold;
+    for (size_t i = 0; i < n; ++i) {
+      thresholds[i] = prefix_threshold;
+      // Update the prefix bottom-k state with priority i.
+      const double p = priorities[i];
+      if (p < prefix_threshold) {
+        if (heap.size() < k) {
+          heap.push_back(p);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (p < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          prefix_threshold = std::min(prefix_threshold, heap.back());
+          heap.back() = p;
+          std::push_heap(heap.begin(), heap.end());
+        } else {
+          prefix_threshold = std::min(prefix_threshold, p);
+        }
+      }
+    }
+    return thresholds;
+  };
+}
+
+ThresholdingRule ExcludeGroupRule(std::vector<bool> group) {
+  return [group = std::move(group)](const std::vector<double>& priorities) {
+    ATS_CHECK(group.size() == priorities.size());
+    double t = kInfiniteThreshold;
+    for (size_t i = 0; i < priorities.size(); ++i) {
+      if (group[i]) t = std::min(t, priorities[i]);
+    }
+    return std::vector<double>(priorities.size(), t);
+  };
+}
+
+}  // namespace ats

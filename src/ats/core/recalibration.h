@@ -1,0 +1,96 @@
+// Threshold recalibration and substitutability checking (Sections 2.5-2.6).
+//
+// Given an adaptive thresholding rule tau (a function of the full priority
+// vector), the recalibrated rule with respect to an index set lambda is
+//
+//   tau~^lambda(R_-lambda) = inf_r { tau(r) : r_-lambda = R_-lambda },
+//
+// i.e. the smallest threshold achievable by moving the priorities indexed
+// by lambda. For non-decreasing rules the infimum is attained by driving
+// those priorities to the bottom of their support (Section 2.5), which is
+// how RecalibratedThresholds computes it.
+//
+// A threshold is *substitutable* when the recalibrated threshold equals the
+// original whenever every item of lambda is sampled; then fixed-threshold
+// estimators carry over unchanged (Theorem 4). This header provides a
+// randomized checker used by the test suite and the ablation bench to
+// verify substitutability of every thresholding rule the library ships --
+// and to demonstrate non-substitutability of deliberately broken rules
+// (such as the "exclude all females" example of Section 2.3).
+#ifndef ATS_CORE_RECALIBRATION_H_
+#define ATS_CORE_RECALIBRATION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+// A thresholding rule: maps the full vector of priorities to per-item
+// thresholds. Rules must be deterministic functions of the priorities (any
+// data dependence is baked into the closure).
+using ThresholdingRule =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+// Evaluates the recalibrated thresholds T~^lambda by setting priorities at
+// the indices in `lambda` to `floor` (0 for non-negative priorities,
+// -infinity in general) and re-applying the rule. Exact for non-decreasing
+// rules.
+std::vector<double> RecalibratedThresholds(const ThresholdingRule& rule,
+                                           std::vector<double> priorities,
+                                           const std::vector<size_t>& lambda,
+                                           double floor = 0.0);
+
+// True iff, for this realization, every index in `lambda` is sampled
+// (R_i < T_i) and the recalibrated thresholds at lambda equal the original
+// thresholds (within `tol`). Vacuously true when some lambda index is not
+// sampled, matching the definition in Section 2.6.
+bool SubsetSubstitutableHere(const ThresholdingRule& rule,
+                             const std::vector<double>& priorities,
+                             const std::vector<size_t>& lambda,
+                             double floor = 0.0, double tol = 0.0);
+
+struct SubstitutabilityReport {
+  int trials = 0;        // randomized (priorities, subset) trials executed
+  int violations = 0;    // trials where recalibration changed a threshold
+  bool substitutable() const { return violations == 0; }
+};
+
+// Randomized substitutability verification (the practical form of
+// Theorem 6): draws `trials` i.i.d. Uniform(0,1) priority vectors of length
+// n, picks random subsets of the realized sample up to `max_subset_size`,
+// and checks SubsetSubstitutableHere for each. A rule that passes many
+// trials with d-sized subsets is empirically d-substitutable.
+SubstitutabilityReport CheckSubstitutability(const ThresholdingRule& rule,
+                                             size_t n, int trials,
+                                             size_t max_subset_size,
+                                             uint64_t seed = 7,
+                                             double floor = 0.0);
+
+// Canonical rules used by tests and the ablation bench. Each returns the
+// same threshold for every item (broadcast to a vector).
+
+// Bottom-k rule: threshold = (k+1)-th smallest priority (+infinity when
+// fewer than k+1 items). Fully substitutable.
+ThresholdingRule BottomKRule(size_t k);
+
+// Budget rule of Section 3.1: items sorted by ascending priority are taken
+// while cumulative `sizes` fit within `budget`; the threshold is the
+// priority of the first item that overflows. Fully substitutable.
+ThresholdingRule BudgetRule(std::vector<double> sizes, double budget);
+
+// Sequential "ever in the bottom-k" rule of Section 2.7: item i's threshold
+// is the bottom-k threshold of the prefix R_1..R_{i-1} (+infinity for the
+// first k items). 1-substitutable but not 2-substitutable.
+ThresholdingRule SequentialBottomKRule(size_t k);
+
+// Deliberately non-substitutable rule from Section 2.3: threshold = the
+// minimum priority among items whose `group` flag is set (excludes that
+// whole group). Used to demonstrate detection of invalid designs.
+ThresholdingRule ExcludeGroupRule(std::vector<bool> group);
+
+}  // namespace ats
+
+#endif  // ATS_CORE_RECALIBRATION_H_

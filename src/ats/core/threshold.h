@@ -1,0 +1,74 @@
+// Threshold abstractions (Sections 2.1, 2.3).
+//
+// A *fixed* threshold t samples item i independently iff R_i < t, giving a
+// Poisson sampling design with inclusion probability F_i(t). An *adaptive*
+// threshold T_i = tau_i(R | D) may depend on the data and on other items'
+// priorities; the paper's machinery (recalibration, substitutability) says
+// when estimators built for fixed thresholds stay valid.
+//
+// Concretely, samplers in this library hand each retained item a
+// SampleEntry carrying its priority, its priority distribution, and the
+// per-item threshold in force; all estimators consume spans of entries and
+// never need to know which sampler produced them. That is the practical
+// payoff of threshold substitutability: "code just one set of estimators
+// while the underlying sampling schemes can be easily changed" (Section 7).
+#ifndef ATS_CORE_THRESHOLD_H_
+#define ATS_CORE_THRESHOLD_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "ats/core/priority.h"
+
+namespace ats {
+
+// Sentinel threshold meaning "everything below it is sampled" (probability
+// one for uniform-family priorities).
+inline constexpr double kInfiniteThreshold =
+    std::numeric_limits<double>::infinity();
+
+// One sampled item as consumed by the estimators.
+//
+// `value` is the quantity being aggregated (e.g. the summand x_i for subset
+// sums, or 1.0 for counts). `key` identifies the item for subset predicates
+// and joins. The pseudo-inclusion probability is dist.Cdf(threshold).
+struct SampleEntry {
+  uint64_t key = 0;
+  double value = 0.0;
+  double priority = 0.0;
+  double threshold = kInfiniteThreshold;
+  PriorityDist dist = PriorityDist::Uniform();
+
+  // Pseudo-inclusion probability pi_i = F_i(T_i) used by HT estimators.
+  double InclusionProbability() const { return dist.Cdf(threshold); }
+};
+
+// Convenience: builds an entry for the ubiquitous weighted-uniform case
+// (priority sampling), where value == weight.
+inline SampleEntry MakeWeightedEntry(uint64_t key, double weight,
+                                     double priority, double threshold) {
+  SampleEntry e;
+  e.key = key;
+  e.value = weight;
+  e.priority = priority;
+  e.threshold = threshold;
+  e.dist = PriorityDist::WeightedUniform(weight);
+  return e;
+}
+
+// Convenience: uniform-priority entry (distinct counting and unweighted
+// sampling).
+inline SampleEntry MakeUniformEntry(uint64_t key, double value,
+                                    double priority, double threshold) {
+  SampleEntry e;
+  e.key = key;
+  e.value = value;
+  e.priority = priority;
+  e.threshold = threshold;
+  e.dist = PriorityDist::Uniform();
+  return e;
+}
+
+}  // namespace ats
+
+#endif  // ATS_CORE_THRESHOLD_H_

@@ -1,0 +1,21 @@
+#include "ats/estimators/distinct.h"
+
+#include "ats/core/ht_estimator.h"
+
+namespace ats {
+
+double EstimateDistinct(std::span<const SampleEntry> sample) {
+  return HtCount(sample);
+}
+
+double EstimateDistinctInSubset(
+    std::span<const SampleEntry> sample,
+    const std::function<bool(uint64_t)>& in_subset) {
+  double total = 0.0;
+  for (const SampleEntry& e : sample) {
+    if (in_subset(e.key)) total += 1.0 / e.InclusionProbability();
+  }
+  return total;
+}
+
+}  // namespace ats

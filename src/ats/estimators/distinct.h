@@ -1,0 +1,31 @@
+// Distinct counting from weighted, coordinated samples (Section 3.4).
+//
+// The subset-sum and distinct-count problems are usually treated
+// separately; a single weighted coordinated priority sample answers both.
+// With substitutable per-item thresholds T_i and priorities R_i = U_i/w_i,
+//   N_hat    = sum_i Z_i / F_i(T_i)          estimates the distinct count,
+//   S_hat(A) = sum_{i in A} w_i Z_i/F_i(T_i) estimates a subset's weight.
+// This extends the Theta-sketch framework [11] to non-uniform priorities,
+// weighted samples, and per-item thresholds.
+#ifndef ATS_ESTIMATORS_DISTINCT_H_
+#define ATS_ESTIMATORS_DISTINCT_H_
+
+#include <functional>
+#include <span>
+
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+// Distinct-count estimate: sum of 1/pi_i over sampled distinct items.
+double EstimateDistinct(std::span<const SampleEntry> sample);
+
+// Distinct count restricted to a key subset (e.g. a demographic subgroup
+// of a spend-weighted user sample).
+double EstimateDistinctInSubset(
+    std::span<const SampleEntry> sample,
+    const std::function<bool(uint64_t)>& in_subset);
+
+}  // namespace ats
+
+#endif  // ATS_ESTIMATORS_DISTINCT_H_

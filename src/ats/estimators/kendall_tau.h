@@ -1,0 +1,59 @@
+// Kendall's tau estimation from 2-substitutable samples (Section 2.6.2).
+//
+// Kendall's tau over pairs (X_i, Y_i), i in [n]:
+//   tau = C(n,2)^{-1} sum_{i<j} sign(X_i - X_j) sign(Y_i - Y_j).
+// Under a 2-substitutable adaptive threshold the pseudo-HT estimator
+//   tau_hat = C(n,2)^{-1} sum_{i<j sampled} C_ij / (pi_i pi_j)
+// is unbiased (Theorem 4 applied to the degree-2 polynomial class). The
+// population size n must be known (or estimated by HtCount).
+#ifndef ATS_ESTIMATORS_KENDALL_TAU_H_
+#define ATS_ESTIMATORS_KENDALL_TAU_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+// One sampled bivariate observation.
+struct PairedSampleEntry {
+  double x = 0.0;
+  double y = 0.0;
+  double inclusion_probability = 1.0;  // pi_i = F_i(T_i)
+};
+
+// Exact Kendall tau over full data, O(n log n) (merge-sort inversion
+// counting). Ties contribute zero, matching the sign-product definition.
+double KendallTauExact(std::span<const double> x, std::span<const double> y);
+
+// Unbiased pseudo-HT estimate of Kendall's tau from a sample drawn with a
+// 2-substitutable threshold; `population_size` is the true n.
+double KendallTauFromSample(std::span<const PairedSampleEntry> sample,
+                            int64_t population_size);
+
+// Convenience: builds PairedSampleEntry list from SampleEntry metadata
+// plus parallel x/y arrays indexed by entry key.
+std::vector<PairedSampleEntry> MakePairedSample(
+    std::span<const SampleEntry> sample, std::span<const double> x,
+    std::span<const double> y);
+
+// Unbiased estimate of Var(tau_hat | X, Y) under a (>=4)-substitutable
+// threshold (the correlated-pairs HT variance of Section 2.6.2):
+//
+//   Var = C(n,2)^{-2} [ sum_{i!=j} (1-pi_ij)/pi_ij C_ij^2
+//         + sum_{(i,j)!=(k,l)} (pi_ijkl - pi_ij pi_kl)/(pi_ij pi_kl)
+//                              C_ij C_kl ]
+//
+// with pi over index sets multiplying the per-item probabilities
+// (substitutable thresholds). Terms whose index sets are disjoint vanish
+// (pi_ijkl == pi_ij pi_kl), so only pairs sharing an index contribute;
+// the estimator replaces each population term by its HT form over
+// sampled items. Requires a sample of >= 3 items; O(m^3).
+double KendallTauVarianceEstimate(std::span<const PairedSampleEntry> sample,
+                                  int64_t population_size);
+
+}  // namespace ats
+
+#endif  // ATS_ESTIMATORS_KENDALL_TAU_H_

@@ -1,0 +1,93 @@
+#include "ats/estimators/moments.h"
+
+#include <cmath>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+namespace {
+
+double FallingFactorial(int64_t n, int d) {
+  double out = 1.0;
+  for (int i = 0; i < d; ++i) out *= static_cast<double>(n - i);
+  return out;
+}
+
+void FillRatios(CentralMoments& m) {
+  m.skewness = m.m2 > 0.0 ? m.m3 / std::pow(m.m2, 1.5) : 0.0;
+  m.kurtosis = m.m2 > 0.0 ? m.m4 / (m.m2 * m.m2) : 0.0;
+}
+
+}  // namespace
+
+CentralMoments ExactUStatMoments(std::span<const double> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  ATS_CHECK(n >= 4);
+  double s1 = 0.0, s2 = 0.0, s3 = 0.0, s4 = 0.0;
+  for (double x : values) {
+    s1 += x;
+    s2 += x * x;
+    s3 += x * x * x;
+    s4 += x * x * x * x;
+  }
+  const double dn = static_cast<double>(n);
+
+  CentralMoments m;
+  // sum_{i != j} (x_i - x_j)^2 / 2 = n*S2 - S1^2.
+  m.m2 = (dn * s2 - s1 * s1) / FallingFactorial(n, 2);
+
+  // Ordered distinct tuple power sums:
+  const double p_iij = s2 * s1 - s3;                 // sum_{i!=j} xi^2 xj
+  const double p_ijk = s1 * s1 * s1 - 3.0 * s2 * s1 + 2.0 * s3;
+  m.m3 = ((dn - 1.0) * (dn - 2.0) * s3 - 3.0 * (dn - 2.0) * p_iij +
+          2.0 * p_ijk) /
+         FallingFactorial(n, 3);
+
+  const double p_iiij = s3 * s1 - s4;                // sum_{i!=j} xi^3 xj
+  // sum_{i!=j!=k} xi^2 xj xk:
+  const double p_iijk = s1 * s1 * s2 - 2.0 * s1 * s3 + 2.0 * s4 - s2 * s2;
+  // sum over ordered distinct quadruples of xi xj xk xl:
+  const double p_ijkl = s1 * s1 * s1 * s1 - 6.0 * s1 * s1 * s2 +
+                        3.0 * s2 * s2 + 8.0 * s1 * s3 - 6.0 * s4;
+  m.m4 = ((dn - 1.0) * (dn - 2.0) * (dn - 3.0) * s4 -
+          4.0 * (dn - 2.0) * (dn - 3.0) * p_iiij +
+          6.0 * (dn - 3.0) * p_iijk - 3.0 * p_ijkl) /
+         FallingFactorial(n, 4);
+  FillRatios(m);
+  return m;
+}
+
+CentralMoments EstimateCentralMoments(std::span<const SampleEntry> sample,
+                                      int64_t population_size) {
+  ATS_CHECK(population_size >= 4);
+  CentralMoments m;
+  m.m2 = PairwiseHtSum(sample,
+                       [](const SampleEntry& a, const SampleEntry& b) {
+                         const double d = a.value - b.value;
+                         return 0.5 * d * d;
+                       }) /
+         FallingFactorial(population_size, 2);
+  m.m3 = TripleHtSum(sample,
+                     [](const SampleEntry& a, const SampleEntry& b,
+                        const SampleEntry& c) {
+                       const double x = a.value, y = b.value, z = c.value;
+                       return x * x * x - 3.0 * x * x * y + 2.0 * x * y * z;
+                     }) /
+         FallingFactorial(population_size, 3);
+  m.m4 = QuadrupleHtSum(
+             sample,
+             [](const SampleEntry& a, const SampleEntry& b,
+                const SampleEntry& c, const SampleEntry& d) {
+               const double x = a.value, y = b.value, z = c.value,
+                            w = d.value;
+               return x * x * x * x - 4.0 * x * x * x * y +
+                      6.0 * x * x * y * z - 3.0 * x * y * z * w;
+             }) /
+         FallingFactorial(population_size, 4);
+  FillRatios(m);
+  return m;
+}
+
+}  // namespace ats

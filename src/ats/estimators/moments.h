@@ -1,0 +1,49 @@
+// Unbiased central-moment estimation via U-statistics (Section 2.6.2;
+// Halmos [16], Heffernan [17]).
+//
+// Sample central moments are biased; the classical fix expresses each
+// central moment as a U-statistic with a degree-d symmetric kernel. Under
+// a d-substitutable adaptive threshold, the pseudo-HT estimate of the
+// population U-statistic is unbiased (Theorem 2 / Section 2.4), so the
+// adaptive sample can be plugged straight into these estimators.
+//
+// Estimands are the *finite-population* U-statistics (ordered distinct
+// tuples), which converge to the distribution moments:
+//   M2 = sum_{i!=j} (x_i-x_j)^2/2              / (n)_2    -> mu_2
+//   M3 = sum f3(x_i,x_j,x_k)                   / (n)_3    -> mu_3
+//   M4 = sum f4(x_i,x_j,x_k,x_l)               / (n)_4    -> mu_4
+// with f3(a,b,c)   = a^3 - 3 a^2 b + 2 a b c
+//      f4(a,b,c,d) = a^4 - 4 a^3 b + 6 a^2 b c - 3 a b c d
+// ((n)_d is the falling factorial). Skewness and kurtosis follow as the
+// ratios M3 / M2^{3/2} and M4 / M2^2.
+#ifndef ATS_ESTIMATORS_MOMENTS_H_
+#define ATS_ESTIMATORS_MOMENTS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+struct CentralMoments {
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  double skewness = 0.0;  // m3 / m2^{3/2}
+  double kurtosis = 0.0;  // m4 / m2^2
+};
+
+// Exact population U-statistic moments, computed in O(n) via power sums.
+// Requires n >= 4.
+CentralMoments ExactUStatMoments(std::span<const double> values);
+
+// Pseudo-HT estimates from a sample drawn with a (>=4)-substitutable
+// threshold; `population_size` is the true n (>= 4). O(m^4) in the sample
+// size m -- intended for modest samples.
+CentralMoments EstimateCentralMoments(std::span<const SampleEntry> sample,
+                                      int64_t population_size);
+
+}  // namespace ats
+
+#endif  // ATS_ESTIMATORS_MOMENTS_H_

@@ -1,0 +1,66 @@
+#include "ats/estimators/subset_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ats {
+
+namespace {
+
+EstimateWithError FromEntries(std::span<const SampleEntry> entries) {
+  EstimateWithError out;
+  out.estimate = HtTotal(entries);
+  out.variance = HtVarianceEstimate(entries);
+  out.ci_half_width = 1.96 * std::sqrt(std::max(0.0, out.variance));
+  return out;
+}
+
+std::vector<SampleEntry> Filter(
+    std::span<const SampleEntry> sample,
+    const std::function<bool(uint64_t)>& in_subset) {
+  std::vector<SampleEntry> out;
+  for (const SampleEntry& e : sample) {
+    if (in_subset(e.key)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+EstimateWithError EstimateTotal(std::span<const SampleEntry> sample) {
+  return FromEntries(sample);
+}
+
+EstimateWithError EstimateSubsetSum(
+    std::span<const SampleEntry> sample,
+    const std::function<bool(uint64_t)>& in_subset) {
+  return FromEntries(Filter(sample, in_subset));
+}
+
+EstimateWithError EstimateSubsetCount(
+    std::span<const SampleEntry> sample,
+    const std::function<bool(uint64_t)>& in_subset) {
+  std::vector<SampleEntry> counted = Filter(sample, in_subset);
+  for (SampleEntry& e : counted) e.value = 1.0;
+  return FromEntries(counted);
+}
+
+double EstimateSubsetMean(std::span<const SampleEntry> sample,
+                          const std::function<bool(uint64_t)>& in_subset) {
+  const double sum = EstimateSubsetSum(sample, in_subset).estimate;
+  const double count = EstimateSubsetCount(sample, in_subset).estimate;
+  return count > 0.0 ? sum / count : 0.0;
+}
+
+double PrioritySamplingTotal(std::span<const SampleEntry> sample) {
+  double total = 0.0;
+  for (const SampleEntry& e : sample) {
+    total += e.threshold == kInfiniteThreshold
+                 ? e.value
+                 : std::max(e.value, 1.0 / e.threshold);
+  }
+  return total;
+}
+
+}  // namespace ats

@@ -1,0 +1,68 @@
+// Generic U-statistic estimation over adaptive threshold samples
+// (Sections 2.4, 2.6.2; Halmos [16]).
+//
+// Any estimable parameter of a distribution equals E h(X_1, ..., X_d) for
+// some symmetric kernel h of finite degree d, and Section 2.4 shows that
+// U-statistics admit pseudo-HT estimators. This module exposes that
+// machinery directly: give it a degree-d kernel and a sample drawn with a
+// d-substitutable threshold, and it returns the unbiased estimate of the
+// population U-statistic
+//
+//   U = (n)_d^{-1} * sum over ordered distinct d-tuples h(x_i1, .., x_id)
+//
+// via  U_hat = (n)_d^{-1} * sum over sampled tuples h(...) / prod pi_i.
+//
+// The central-moment estimators (moments.h) and Kendall's tau
+// (kendall_tau.h) are special cases; this interface covers the rest of
+// the family (Gini mean difference, concordance measures, one-sample
+// Wilcoxon kernels, ...). Cost is O(m^d) over the sample size m.
+#ifndef ATS_ESTIMATORS_USTATISTIC_H_
+#define ATS_ESTIMATORS_USTATISTIC_H_
+
+#include <functional>
+#include <span>
+
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+// Kernels receive the sampled entries' values.
+using Kernel1 = std::function<double(double)>;
+using Kernel2 = std::function<double(double, double)>;
+using Kernel3 = std::function<double(double, double, double)>;
+using Kernel4 = std::function<double(double, double, double, double)>;
+
+// Degree-1 U-statistic (the population mean of h): requires only
+// 1-substitutability -- every sampler in the library qualifies.
+double UStatistic1(std::span<const SampleEntry> sample,
+                   int64_t population_size, const Kernel1& h);
+
+// Degree-2: requires 2-substitutability. The kernel need not be
+// symmetric; it is evaluated over ordered pairs.
+double UStatistic2(std::span<const SampleEntry> sample,
+                   int64_t population_size, const Kernel2& h);
+
+// Degree-3: requires 3-substitutability.
+double UStatistic3(std::span<const SampleEntry> sample,
+                   int64_t population_size, const Kernel3& h);
+
+// Degree-4: requires 4-substitutability.
+double UStatistic4(std::span<const SampleEntry> sample,
+                   int64_t population_size, const Kernel4& h);
+
+// Exact population values (ground truth for tests), O(n^d).
+double ExactUStatistic1(std::span<const double> values, const Kernel1& h);
+double ExactUStatistic2(std::span<const double> values, const Kernel2& h);
+double ExactUStatistic3(std::span<const double> values, const Kernel3& h);
+
+// Ready-made kernels.
+
+// Gini mean difference |x - y|: a robust dispersion measure.
+double GiniMeanDifferenceKernel(double x, double y);
+
+// Wilcoxon one-sample kernel 1{x + y > 0}: tests symmetry about zero.
+double WilcoxonKernel(double x, double y);
+
+}  // namespace ats
+
+#endif  // ATS_ESTIMATORS_USTATISTIC_H_

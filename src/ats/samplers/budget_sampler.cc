@@ -1,0 +1,71 @@
+#include "ats/samplers/budget_sampler.h"
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+namespace {
+
+bool PriorityLess(const BudgetSampler::Item& a,
+                  const BudgetSampler::Item& b) {
+  return a.priority < b.priority;
+}
+
+}  // namespace
+
+BudgetSampler::BudgetSampler(double budget, uint64_t seed)
+    : budget_(budget), rng_(seed), items_(PriorityLess) {
+  ATS_CHECK(budget > 0.0);
+}
+
+bool BudgetSampler::Add(uint64_t key, double size, double value,
+                        double weight) {
+  ATS_CHECK(size > 0.0);
+  ATS_CHECK(weight > 0.0);
+  if (size > budget_) return false;  // can never fit: inclusion prob 0
+  Item item;
+  item.key = key;
+  item.size = size;
+  item.value = value;
+  item.weight = weight;
+  item.priority = rng_.NextDoubleOpenZero() / weight;
+  if (item.priority >= threshold_) return false;
+  items_.insert(item);
+  used_ += size;
+  Shrink();
+  // The item may have been evicted again immediately (it might itself be
+  // the first-overflow item).
+  return item.priority < threshold_;
+}
+
+void BudgetSampler::Shrink() {
+  // Restore the invariant: retained items are the maximal ascending-
+  // priority prefix of all stream items whose cumulative size fits within
+  // the budget. Removing from the largest priority down terminates at that
+  // prefix; the last removed item is the first-overflow item whose
+  // priority becomes the new threshold.
+  while (used_ > budget_) {
+    auto last = std::prev(items_.end());
+    used_ -= last->size;
+    threshold_ = last->priority;
+    items_.erase(last);
+  }
+}
+
+std::vector<SampleEntry> BudgetSampler::Sample() const {
+  std::vector<SampleEntry> out;
+  out.reserve(items_.size());
+  for (const Item& it : items_) {
+    SampleEntry e;
+    e.key = it.key;
+    e.value = it.value;
+    e.priority = it.priority;
+    e.threshold = threshold_;
+    e.dist = it.weight == 1.0 ? PriorityDist::Uniform()
+                              : PriorityDist::WeightedUniform(it.weight);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ats

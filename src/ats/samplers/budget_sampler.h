@@ -1,0 +1,71 @@
+// Memory-budget sampling with variable item sizes (Section 3.1).
+//
+// A bottom-k sketch guarantees k items, but when item sizes vary the
+// memory footprint varies with them; honoring a hard budget B forces the
+// conservative choice k = B / L_max. The budget thresholding rule instead
+// takes as many items as fit: order items by ascending priority and accept
+// the maximal prefix whose cumulative size is <= B; the threshold is the
+// priority of the first item that overflows the budget. Like bottom-k, the
+// values of the retained (smaller) priorities are irrelevant to the
+// threshold, so it is fully substitutable and the usual HT estimators
+// apply whenever B >= L_max (every item has non-zero inclusion
+// probability; B >= 2 L_max for the variance estimator).
+#ifndef ATS_SAMPLERS_BUDGET_SAMPLER_H_
+#define ATS_SAMPLERS_BUDGET_SAMPLER_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class BudgetSampler {
+ public:
+  struct Item {
+    uint64_t key = 0;
+    double size = 0.0;   // storage cost against the budget
+    double value = 0.0;  // aggregation value
+    double weight = 1.0; // sampling weight (1 = uniform)
+    double priority = 0.0;
+  };
+
+  // budget: total size capacity B (> 0).
+  BudgetSampler(double budget, uint64_t seed);
+
+  // Feeds one item (size must be positive and should not exceed the
+  // budget; oversized items can never be sampled and are rejected).
+  // Returns true iff the item is currently retained.
+  bool Add(uint64_t key, double size, double value, double weight = 1.0);
+
+  // Current adaptive threshold: priority of the first item (ascending
+  // priority order over the whole stream) that would overflow the budget;
+  // +infinity until the budget has ever been exceeded.
+  double Threshold() const { return threshold_; }
+
+  // Total size of retained items (always <= budget).
+  double UsedBudget() const { return used_; }
+
+  size_t size() const { return items_.size(); }
+  double budget() const { return budget_; }
+
+  // Sample entries for HT estimation. Weighted items carry
+  // WeightedUniform(w) priorities; uniform items carry Uniform priorities.
+  std::vector<SampleEntry> Sample() const;
+
+ private:
+  void Shrink();
+
+  double budget_;
+  Xoshiro256 rng_;
+  double threshold_ = kInfiniteThreshold;
+  double used_ = 0.0;
+  // Retained items ordered by ascending priority.
+  std::multiset<Item, bool (*)(const Item&, const Item&)> items_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_BUDGET_SAMPLER_H_

@@ -1,0 +1,58 @@
+#include "ats/samplers/multi_objective.h"
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+MultiObjectiveSampler::MultiObjectiveSampler(size_t num_objectives, size_t k,
+                                             uint64_t seed)
+    : rng_(seed) {
+  ATS_CHECK(num_objectives >= 1);
+  sketches_.reserve(num_objectives);
+  for (size_t j = 0; j < num_objectives; ++j) sketches_.emplace_back(k);
+}
+
+void MultiObjectiveSampler::Add(uint64_t key,
+                                const std::vector<double>& weights,
+                                double value) {
+  ATS_CHECK(weights.size() == sketches_.size());
+  // One shared uniform per item coordinates the per-objective priorities.
+  const double u = rng_.NextDoubleOpenZero();
+  for (size_t j = 0; j < sketches_.size(); ++j) {
+    ATS_CHECK(weights[j] > 0.0);
+    sketches_[j].Offer(u / weights[j], Stored{key, value, weights[j]});
+  }
+}
+
+size_t MultiObjectiveSampler::CombinedSize() const {
+  std::unordered_set<uint64_t> keys;
+  for (const auto& sketch : sketches_) {
+    for (const auto& e : sketch.entries()) keys.insert(e.payload.key);
+  }
+  return keys.size();
+}
+
+double MultiObjectiveSampler::Threshold(size_t objective) const {
+  ATS_CHECK(objective < sketches_.size());
+  return sketches_[objective].Threshold();
+}
+
+std::vector<SampleEntry> MultiObjectiveSampler::Sample(
+    size_t objective) const {
+  ATS_CHECK(objective < sketches_.size());
+  const auto& sketch = sketches_[objective];
+  std::vector<SampleEntry> out;
+  out.reserve(sketch.size());
+  for (const auto& e : sketch.entries()) {
+    SampleEntry s;
+    s.key = e.payload.key;
+    s.value = e.payload.value;
+    s.priority = e.priority;
+    s.threshold = sketch.Threshold();
+    s.dist = PriorityDist::WeightedUniform(e.payload.weight);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ats

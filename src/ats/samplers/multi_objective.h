@@ -1,0 +1,66 @@
+// Multi-objective weighted sampling (Section 3.8).
+//
+// Queries may weight items differently (e.g. by profit or by revenue). One
+// coordinated sample serves every objective: each item draws a single
+// uniform U_i, and objective j sees the priority R_i^j = U_i / w_i^j. A
+// bottom-k sketch per objective (k = B / c under a budget B split across c
+// objectives, following Cohen [6]) retains the union of the per-objective
+// samples. Because the priorities share U_i, highly correlated weights
+// produce highly overlapping sketches: the combined size is <= c*k and
+// approaches k as weights become scalar multiples of each other, which is
+// the behavior the Section 3.8 bench measures.
+#ifndef ATS_SAMPLERS_MULTI_OBJECTIVE_H_
+#define ATS_SAMPLERS_MULTI_OBJECTIVE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class MultiObjectiveSampler {
+ public:
+  struct Item {
+    uint64_t key = 0;
+    double value = 0.0;
+    std::vector<double> weights;  // one per objective
+  };
+
+  // num_objectives >= 1; k: per-objective bottom-k size.
+  MultiObjectiveSampler(size_t num_objectives, size_t k, uint64_t seed);
+
+  // Feeds one item with its per-objective weights (size must equal
+  // num_objectives; all weights > 0). `value` is the aggregation value.
+  void Add(uint64_t key, const std::vector<double>& weights, double value);
+
+  // Number of distinct items retained by at least one objective's sketch:
+  // the actual storage cost of the combined sketch.
+  size_t CombinedSize() const;
+
+  // Per-objective adaptive threshold (on the R^j = U/w^j scale).
+  double Threshold(size_t objective) const;
+
+  // Sample entries for objective j, for HT estimation of sums weighted by
+  // that objective (entry value = item value, weight = w^j).
+  std::vector<SampleEntry> Sample(size_t objective) const;
+
+  size_t num_objectives() const { return sketches_.size(); }
+
+ private:
+  struct Stored {
+    uint64_t key;
+    double value;
+    double weight;  // weight under this sketch's objective
+  };
+
+  std::vector<BottomK<Stored>> sketches_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_MULTI_OBJECTIVE_H_

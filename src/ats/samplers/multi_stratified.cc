@@ -1,0 +1,110 @@
+#include "ats/samplers/multi_stratified.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+MultiStratifiedSampler::MultiStratifiedSampler(size_t num_dimensions,
+                                               size_t k, uint64_t seed)
+    : num_dimensions_(num_dimensions), k_(k), rng_(seed) {
+  ATS_CHECK(num_dimensions >= 1);
+  ATS_CHECK(k >= 1);
+}
+
+bool MultiStratifiedSampler::Add(uint64_t key, const StrataKeys& strata,
+                                 double value) {
+  ATS_CHECK(strata.size() == num_dimensions_);
+  ATS_CHECK(!items_.contains(key));
+  const double priority = rng_.NextDoubleOpenZero();
+  auto [it, inserted] =
+      items_.emplace(key, ItemData{value, priority, strata, 0});
+  ATS_CHECK(inserted);
+  for (size_t d = 0; d < num_dimensions_; ++d) {
+    OfferToStratum({d, strata[d]}, priority, key);
+  }
+  if (it->second.memberships == 0) {
+    items_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void MultiStratifiedSampler::OfferToStratum(const StratumId& id,
+                                            double priority, uint64_t key) {
+  auto [sit, created] = strata_.try_emplace(id);
+  Stratum& s = sit->second;
+  if (created) s.capacity = k_;
+  if (priority >= s.threshold) return;
+  if (s.members.size() < s.capacity) {
+    s.members.emplace(priority, key);
+    ++items_.at(key).memberships;
+    return;
+  }
+  if (s.capacity == 0) return;
+  const auto top = std::prev(s.members.end());
+  if (priority >= top->first) {
+    // New (capacity+1)-th smallest: becomes the stratum threshold.
+    s.threshold = std::min(s.threshold, priority);
+    return;
+  }
+  s.members.emplace(priority, key);
+  ++items_.at(key).memberships;
+  EvictTop(s);
+}
+
+void MultiStratifiedSampler::EvictTop(Stratum& stratum) {
+  ATS_CHECK(!stratum.members.empty());
+  const auto top = std::prev(stratum.members.end());
+  const auto [priority, key] = *top;
+  stratum.threshold = std::min(stratum.threshold, priority);
+  stratum.members.erase(top);
+  ItemData& item = items_.at(key);
+  if (--item.memberships == 0) items_.erase(key);
+}
+
+void MultiStratifiedSampler::ShrinkToBudget(size_t max_items) {
+  while (items_.size() > max_items) {
+    // Pick the stratum with the most retained members and decrement its
+    // threshold to the next smaller priority (= evict its top member).
+    Stratum* best = nullptr;
+    for (auto& [id, s] : strata_) {
+      if (s.members.empty()) continue;
+      if (best == nullptr || s.members.size() > best->members.size()) {
+        best = &s;
+      }
+    }
+    ATS_CHECK_MSG(best != nullptr, "budget unreachable: no members left");
+    if (best->capacity > 0) best->capacity = best->members.size() - 1;
+    EvictTop(*best);
+  }
+}
+
+double MultiStratifiedSampler::StratumThreshold(size_t dimension,
+                                                uint64_t stratum) const {
+  const auto it = strata_.find({dimension, stratum});
+  return it == strata_.end() ? kInfiniteThreshold : it->second.threshold;
+}
+
+size_t MultiStratifiedSampler::StratumSize(size_t dimension,
+                                           uint64_t stratum) const {
+  const auto it = strata_.find({dimension, stratum});
+  return it == strata_.end() ? 0 : it->second.members.size();
+}
+
+std::vector<SampleEntry> MultiStratifiedSampler::Sample() const {
+  std::vector<SampleEntry> out;
+  out.reserve(items_.size());
+  for (const auto& [key, item] : items_) {
+    double threshold = 0.0;
+    for (size_t d = 0; d < num_dimensions_; ++d) {
+      threshold = std::max(
+          threshold, StratumThreshold(d, item.strata[d]));
+    }
+    out.push_back(MakeUniformEntry(key, item.value, item.priority, threshold));
+  }
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,94 @@
+// Multi-stratified sampling (Section 3.7).
+//
+// A single sample that is simultaneously a stratified sample along several
+// key dimensions (e.g. by country AND by age). Each (dimension, stratum)
+// pair maintains a bottom-k threshold tau_s; an item's threshold is the
+// MAX of its strata thresholds, so it is retained while it sits in the
+// bottom-k of at least one of its strata. The max of substitutable
+// thresholds is 1-substitutable, and Theorem 6 upgrades the composite rule
+// to full substitutability, so plain HT estimators apply with
+// pi_i = F(max_s tau_s).
+//
+// Budget control: ShrinkToBudget(B) repeatedly picks the stratum with the
+// most retained members and decrements its threshold to the next smaller
+// priority (evicting one member) until at most B distinct items remain --
+// the dynamic per-stratum-k rule of Section 3.7.
+#ifndef ATS_SAMPLERS_MULTI_STRATIFIED_H_
+#define ATS_SAMPLERS_MULTI_STRATIFIED_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class MultiStratifiedSampler {
+ public:
+  // One stratum key per dimension.
+  using StrataKeys = std::vector<uint64_t>;
+
+  // num_dimensions >= 1, k >= 1 items per stratum (initially).
+  MultiStratifiedSampler(size_t num_dimensions, size_t k, uint64_t seed);
+
+  // Feeds one item. `strata` must have num_dimensions entries. Returns
+  // true iff the item is currently retained.
+  bool Add(uint64_t key, const StrataKeys& strata, double value);
+
+  // Evicts items (largest-member-stratum first) until at most
+  // `max_items` distinct items remain.
+  void ShrinkToBudget(size_t max_items);
+
+  // Number of distinct retained items.
+  size_t size() const { return items_.size(); }
+
+  // Current threshold of a stratum (+infinity while underfull).
+  double StratumThreshold(size_t dimension, uint64_t stratum) const;
+
+  // Number of retained members of a stratum.
+  size_t StratumSize(size_t dimension, uint64_t stratum) const;
+
+  // Sample entries: per-item threshold = max over the item's strata
+  // thresholds; uniform priorities.
+  std::vector<SampleEntry> Sample() const;
+
+  size_t num_dimensions() const { return num_dimensions_; }
+
+ private:
+  struct ItemData {
+    double value = 0.0;
+    double priority = 0.0;
+    StrataKeys strata;
+    int memberships = 0;  // number of strata whose bottom-k contains it
+  };
+
+  struct Stratum {
+    // Members ordered by priority (ascending); values are item keys.
+    std::set<std::pair<double, uint64_t>> members;
+    double threshold = kInfiniteThreshold;
+    size_t capacity = 0;  // current k for this stratum
+  };
+
+  using StratumId = std::pair<size_t, uint64_t>;  // (dimension, stratum key)
+
+  // Offers an item to one stratum; maintains capacity and thresholds.
+  void OfferToStratum(const StratumId& id, double priority, uint64_t key);
+
+  // Evicts the largest-priority member of a stratum, lowering its
+  // threshold; drops the item globally when its membership count hits 0.
+  void EvictTop(Stratum& stratum);
+
+  size_t num_dimensions_;
+  size_t k_;
+  Xoshiro256 rng_;
+  std::map<StratumId, Stratum> strata_;
+  std::unordered_map<uint64_t, ItemData> items_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_MULTI_STRATIFIED_H_

@@ -1,0 +1,121 @@
+#include "ats/samplers/sliding_window.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+SlidingWindowSampler::SlidingWindowSampler(size_t k, double window,
+                                           uint64_t seed)
+    : k_(k), window_(window), rng_(seed) {
+  ATS_CHECK(k >= 1);
+  ATS_CHECK(window > 0.0);
+}
+
+void SlidingWindowSampler::ExpireUntil(double now) {
+  // Current -> expired at one window length.
+  while (!current_.empty() && current_.front().time <= now - window_) {
+    expired_.push_back(current_.front());
+    current_.pop_front();
+  }
+  // Expired items are dropped at two window lengths.
+  while (!expired_.empty() && expired_.front().time <= now - 2.0 * window_) {
+    expired_.pop_front();
+  }
+}
+
+bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
+  ExpireUntil(time);
+  const double priority = rng_.NextDoubleOpenZero();
+
+  // Initial threshold: 1 while the current sample is underfull, else the
+  // k-th smallest of the current priorities together with the new one.
+  double initial_threshold = 1.0;
+  if (current_.size() >= k_) {
+    // k-th smallest of (k current priorities) u {priority}: with m1 the
+    // largest and m2 the second largest current priority, it is m1 if the
+    // newcomer is above m1, otherwise max(m2, priority).
+    double m1 = 0.0, m2 = 0.0;
+    for (const StoredItem& it : current_) {
+      if (it.priority > m1) {
+        m2 = m1;
+        m1 = it.priority;
+      } else if (it.priority > m2) {
+        m2 = it.priority;
+      }
+    }
+    initial_threshold = priority >= m1 ? m1 : std::max(m2, priority);
+  }
+
+  if (priority >= initial_threshold) return false;
+
+  current_.push_back(StoredItem{id, time, priority, initial_threshold});
+  if (current_.size() > k_) {
+    // Lower every current threshold to min(T_i, T_n); this evicts exactly
+    // the largest-priority item (its priority is >= the new threshold).
+    size_t evict = 0;
+    for (size_t i = 0; i < current_.size(); ++i) {
+      current_[i].threshold =
+          std::min(current_[i].threshold, initial_threshold);
+      if (current_[i].priority > current_[evict].priority) evict = i;
+    }
+    ATS_DCHECK(current_[evict].priority >= initial_threshold ||
+               current_.size() <= k_);
+    current_.erase(current_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  return true;
+}
+
+double SlidingWindowSampler::GlThreshold(double now) {
+  ExpireUntil(now);
+  std::vector<double> priorities;
+  priorities.reserve(current_.size() + expired_.size());
+  for (const StoredItem& it : current_) priorities.push_back(it.priority);
+  for (const StoredItem& it : expired_) priorities.push_back(it.priority);
+  if (priorities.size() < k_) return 1.0;
+  std::nth_element(priorities.begin(),
+                   priorities.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                   priorities.end());
+  return priorities[k_ - 1];
+}
+
+double SlidingWindowSampler::ImprovedThreshold(double now) {
+  ExpireUntil(now);
+  double t = 1.0;
+  for (const StoredItem& it : current_) t = std::min(t, it.threshold);
+  return t;
+}
+
+std::vector<SampleEntry> SlidingWindowSampler::SampleWithThreshold(
+    double threshold) const {
+  std::vector<SampleEntry> out;
+  for (const StoredItem& it : current_) {
+    if (it.priority < threshold) {
+      out.push_back(MakeUniformEntry(it.id, 1.0, it.priority, threshold));
+    }
+  }
+  return out;
+}
+
+std::vector<SampleEntry> SlidingWindowSampler::GlSample(double now) {
+  return SampleWithThreshold(GlThreshold(now));
+}
+
+std::vector<SampleEntry> SlidingWindowSampler::ImprovedSample(double now) {
+  return SampleWithThreshold(ImprovedThreshold(now));
+}
+
+size_t SlidingWindowSampler::StoredCount(double now) {
+  ExpireUntil(now);
+  return current_.size() + expired_.size();
+}
+
+std::vector<SlidingWindowSampler::StoredItem>
+SlidingWindowSampler::CurrentItems(double now) {
+  ExpireUntil(now);
+  return {current_.begin(), current_.end()};
+}
+
+}  // namespace ats

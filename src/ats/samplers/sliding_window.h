@@ -1,0 +1,90 @@
+// Sliding-window sampling in bounded space (Section 3.2, Figures 1-2).
+//
+// Implements the Gemulla & Lehner (G&L) [14] bounded-space scheme,
+// re-expressed as the paper's two-stage adaptive thresholding procedure,
+// and BOTH final thresholds over the *identical* stored state:
+//
+//  * Storage stage. The sampler keeps "current" examples C(t) from the
+//    window (t - window, t] and "expired" examples X(t) from
+//    (t - 2*window, t - window]. A new item x_n gets the initial threshold
+//    T_n = 1 if |C| < k, else the k-th smallest of C's priorities and R_n.
+//    Items with R_n >= T_n are discarded. When an insertion pushes |C|
+//    above k, every current threshold is lowered to min(T_i, T_n), which
+//    evicts the largest-priority item. Items that leave the window move to
+//    X with their priority and final per-item threshold; X is trimmed at
+//    two window lengths.
+//
+//  * Final threshold, G&L: T_GL = k-th smallest priority among C u X.
+//    Correct but conservative - it discards roughly half the usable points.
+//
+//  * Final threshold, improved (this paper): T_imp = min_{i in C(t)} T_i.
+//    The storage stage is a sequential 1-substitutable rule and min
+//    composition preserves 1-substitutability (Theorem 9); the min is
+//    constant across the window so Theorem 6 upgrades it to full
+//    substitutability. Same sketch, roughly twice the usable sample.
+#ifndef ATS_SAMPLERS_SLIDING_WINDOW_H_
+#define ATS_SAMPLERS_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class SlidingWindowSampler {
+ public:
+  struct StoredItem {
+    uint64_t id = 0;
+    double time = 0.0;
+    double priority = 0.0;
+    double threshold = 1.0;  // per-item threshold T_i(t), min-updated
+  };
+
+  // k: target sample size / space bound per window; window: Delta.
+  SlidingWindowSampler(size_t k, double window, uint64_t seed);
+
+  // Feeds an arrival (times must be non-decreasing). Returns true iff the
+  // item was stored. The priority is drawn internally from Uniform(0,1).
+  bool Arrive(double time, uint64_t id);
+
+  // --- Queries (all advance expiry to `now`) ---
+
+  // G&L final threshold: k-th smallest priority among current u expired.
+  double GlThreshold(double now);
+
+  // Improved final threshold: min over current items' per-item thresholds.
+  double ImprovedThreshold(double now);
+
+  // Uniform samples from the window (t - window, now] under each final
+  // threshold. Entries carry Uniform priorities and the final threshold.
+  std::vector<SampleEntry> GlSample(double now);
+  std::vector<SampleEntry> ImprovedSample(double now);
+
+  // Number of stored (current + expired) items: the space actually used.
+  size_t StoredCount(double now);
+
+  // Current items (after expiry at `now`), for the Figure 1 threshold
+  // trace. Sorted by arrival time.
+  std::vector<StoredItem> CurrentItems(double now);
+
+  size_t k() const { return k_; }
+  double window() const { return window_; }
+
+ private:
+  void ExpireUntil(double now);
+  std::vector<SampleEntry> SampleWithThreshold(double threshold) const;
+
+  size_t k_;
+  double window_;
+  Xoshiro256 rng_;
+  // Both deques are ordered by arrival time (ascending).
+  std::deque<StoredItem> current_;
+  std::deque<StoredItem> expired_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_SLIDING_WINDOW_H_

@@ -1,0 +1,49 @@
+#include "ats/samplers/time_decay.h"
+
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+TimeDecaySampler::TimeDecaySampler(size_t k, uint64_t seed)
+    : sketch_(k), rng_(seed) {}
+
+bool TimeDecaySampler::Add(uint64_t key, double weight, double value,
+                           double time) {
+  ATS_CHECK(weight > 0.0);
+  const double log_key =
+      std::log(rng_.NextDoubleOpenZero()) - std::log(weight) - time;
+  return sketch_.Offer(log_key, Stored{key, weight, value, time});
+}
+
+std::vector<TimeDecaySampler::DecayedEntry> TimeDecaySampler::SampleAt(
+    double now) const {
+  std::vector<DecayedEntry> out;
+  out.reserve(sketch_.size());
+  const double log_threshold = sketch_.Threshold();
+  for (const auto& e : sketch_.entries()) {
+    const Stored& s = e.payload;
+    DecayedEntry d;
+    d.key = s.key;
+    d.value = s.value;
+    d.arrival_time = s.arrival_time;
+    d.decayed_weight = s.weight * std::exp(-(now - s.arrival_time));
+    // pi = P(K < tau) = min(1, w e^{t_i} tau), computed in log space:
+    // log(w) + t_i + log(tau), clamped at 0.
+    const double log_pi =
+        std::log(s.weight) + s.arrival_time + log_threshold;
+    d.inclusion_probability = std::exp(std::min(0.0, log_pi));
+    d.ht_value = d.value * d.decayed_weight / d.inclusion_probability;
+    out.push_back(d);
+  }
+  return out;
+}
+
+double TimeDecaySampler::EstimateDecayedTotal(double now) const {
+  double total = 0.0;
+  for (const DecayedEntry& d : SampleAt(now)) total += d.ht_value;
+  return total;
+}
+
+}  // namespace ats

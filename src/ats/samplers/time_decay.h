@@ -1,0 +1,72 @@
+// Time-decayed sampling via priority-threshold duality (Section 2.9).
+//
+// Under exponential decay the weight of an item decays as
+// w_i(t) = w_i * exp(-(t - t_i)). Re-drawing priorities as weights change
+// would be impractical; the duality of Section 2.9 instead keeps priorities
+// fixed and lets the threshold grow: the item is in the time-t sample iff
+//
+//   U_i / w_i(t) < T(t)   <=>   U_i / (w_i e^{t_i}) < e^{-t} T(t),
+//
+// so the decay-invariant key  K_i = U_i / (w_i e^{t_i})  (stored in log
+// space to avoid overflow) admits an ordinary bottom-k sketch whose
+// threshold automatically tracks the decayed weights. The retained items
+// are always the k currently-heaviest decayed-weight sample.
+#ifndef ATS_SAMPLERS_TIME_DECAY_H_
+#define ATS_SAMPLERS_TIME_DECAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/random.h"
+
+namespace ats {
+
+class TimeDecaySampler {
+ public:
+  struct DecayedEntry {
+    uint64_t key = 0;
+    double value = 0.0;
+    double arrival_time = 0.0;
+    double decayed_weight = 0.0;       // w_i e^{-(now - t_i)}
+    double inclusion_probability = 0.0;
+    double ht_value = 0.0;             // value * decayed_weight / pi
+  };
+
+  // k: sample size bound; decay rate is fixed at 1 (rescale time for other
+  // rates).
+  TimeDecaySampler(size_t k, uint64_t seed);
+
+  // Feeds one item at time `time` (non-decreasing). Returns true iff the
+  // item enters the sketch.
+  bool Add(uint64_t key, double weight, double value, double time);
+
+  // The adaptive threshold on the log-key scale (log of the (k+1)-th
+  // smallest decay-invariant key).
+  double LogKeyThreshold() const { return sketch_.Threshold(); }
+
+  size_t size() const { return sketch_.size(); }
+
+  // The sample evaluated at time `now` >= every arrival time: decayed
+  // weights, inclusion probabilities, and HT terms for estimating the
+  // decayed total sum_i value_i * w_i e^{-(now - t_i)}.
+  std::vector<DecayedEntry> SampleAt(double now) const;
+
+  // HT estimate of the decayed total at time `now`.
+  double EstimateDecayedTotal(double now) const;
+
+ private:
+  struct Stored {
+    uint64_t key;
+    double weight;
+    double value;
+    double arrival_time;
+  };
+
+  BottomK<Stored> sketch_;  // ordered by log K_i = log U_i - log w_i - t_i
+  Xoshiro256 rng_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_TIME_DECAY_H_

@@ -1,0 +1,112 @@
+#include "ats/samplers/topk_sampler.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+TopKSampler::TopKSampler(size_t k, uint64_t seed, double compaction_slack)
+    : k_(k), compaction_slack_(compaction_slack), rng_(seed) {
+  ATS_CHECK(k >= 1);
+  ATS_CHECK(compaction_slack > 1.0);
+}
+
+void TopKSampler::Add(uint64_t item) {
+  ++total_;
+  auto it = table_.find(item);
+  if (it != table_.end()) {
+    ItemState& s = it->second;
+    // Count increment c -> c+1: rescale the priority to keep the invariant
+    // Q ~ Uniform(0, 1/c). Frequent items' priorities shrink, making them
+    // progressively harder to evict.
+    const double c_old = s.Estimate();
+    ++s.count;
+    s.priority *= c_old / s.Estimate();
+    return;
+  }
+  const double u = rng_.NextDoubleOpenZero();
+  if (u < threshold_) {
+    // Enter the sample: estimate 1/T, priority U | U < T ~ Uniform(0, T).
+    table_.emplace(item, ItemState{item, u, threshold_, 0});
+    if (table_.size() >= compact_at_) Compact();
+  }
+}
+
+void TopKSampler::Compact() {
+  if (table_.size() > k_) {
+    // 1/T tracks the k-th largest estimated count.
+    std::vector<double> estimates;
+    estimates.reserve(table_.size());
+    for (const auto& [item, s] : table_) estimates.push_back(s.Estimate());
+    std::nth_element(estimates.begin(),
+                     estimates.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                     estimates.end(), std::greater<double>());
+    const double kth = estimates[k_ - 1];
+    const double t_new = std::min(threshold_, 1.0 / kth);
+    if (t_new < threshold_) {
+      threshold_ = t_new;
+      // Re-threshold infrequent items only: survival test Q_i < T, then
+      // restart at threshold T with v = 0.
+      for (auto it = table_.begin(); it != table_.end();) {
+        ItemState& s = it->second;
+        if (s.Estimate() > kth) {  // frequent: untouched
+          ++it;
+          continue;
+        }
+        if (s.priority >= threshold_) {
+          it = table_.erase(it);
+        } else {
+          s.threshold = threshold_;
+          s.count = 0;
+          ++it;
+        }
+      }
+    }
+  }
+  compact_at_ = std::max<size_t>(
+      16, static_cast<size_t>(static_cast<double>(table_.size()) *
+                              compaction_slack_));
+}
+
+double TopKSampler::EstimatedCount(uint64_t item) const {
+  const auto it = table_.find(item);
+  return it == table_.end() ? 0.0 : it->second.Estimate();
+}
+
+std::vector<uint64_t> TopKSampler::TopK() const {
+  std::vector<const ItemState*> states;
+  states.reserve(table_.size());
+  for (const auto& [item, s] : table_) states.push_back(&s);
+  const size_t kk = std::min(k_, states.size());
+  std::partial_sort(states.begin(), states.begin() + static_cast<std::ptrdiff_t>(kk),
+                    states.end(), [](const ItemState* a, const ItemState* b) {
+                      if (a->Estimate() != b->Estimate()) {
+                        return a->Estimate() > b->Estimate();
+                      }
+                      return a->item < b->item;
+                    });
+  std::vector<uint64_t> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(states[i]->item);
+  return out;
+}
+
+std::vector<TopKSampler::ItemState> TopKSampler::Entries() const {
+  std::vector<ItemState> out;
+  out.reserve(table_.size());
+  for (const auto& [item, s] : table_) out.push_back(s);
+  return out;
+}
+
+double TopKSampler::EstimatedSubsetCount(
+    const std::function<bool(uint64_t)>& in_subset) const {
+  double total = 0.0;
+  for (const auto& [item, s] : table_) {
+    if (in_subset(item)) total += s.Estimate();
+  }
+  return total;
+}
+
+}  // namespace ats

@@ -1,0 +1,95 @@
+// Adaptive top-k sampling (Section 3.3, Figure 3).
+//
+// A top-k sketch must return the k most frequent items *whatever* their
+// frequencies are, so the right sketch size cannot be chosen in advance
+// (unlike the heavy-hitter problem). This sampler learns to downsample
+// infrequent items: it keeps a variable-length list of entries
+// (item, priority, threshold T_i, post-entry count v_i) with unbiased
+// count estimate c_i = 1/T_i + v_i, and maintains the adaptive threshold
+//
+//   T(t) = smallest priority such that at least k items have c_i > 1/T(t),
+//
+// i.e. 1/T(t) tracks the k-th largest estimated count. When T(t) drops,
+// only infrequent items (c_i <= 1/T) are re-thresholded: those whose
+// priority is at/above T are discarded, survivors restart at threshold T.
+//
+// Unbiasedness through re-thresholding: each infrequent item's priority is
+// maintained under the invariant Q_i ~ Uniform(0, 1/c_i) -- the item's
+// estimated count acts as its weight, exactly the priority-sampling view
+// of Unbiased Space-Saving [30] that this procedure generalizes. Survival
+// (Q_i < T) then has probability T * c_i and the surviving estimate 1/T
+// satisfies E[new estimate] = c_old, so disaggregated subset sums stay
+// unbiased (the substitutability of the rule: zeroing sampled priorities
+// changes neither sample nor thresholds).
+#ifndef ATS_SAMPLERS_TOPK_SAMPLER_H_
+#define ATS_SAMPLERS_TOPK_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class TopKSampler {
+ public:
+  struct ItemState {
+    uint64_t item = 0;
+    double priority = 0.0;   // Q_i ~ Uniform(0, 1/c_i) invariant
+    double threshold = 1.0;  // T_i at entry / last re-threshold
+    int64_t count = 0;       // v_i: occurrences after entry
+    double Estimate() const { return 1.0 / threshold + count; }
+  };
+
+  // k: how many top items to track. `compaction_slack` controls how often
+  // the adaptive threshold is refreshed (refresh when the sketch grows by
+  // this factor since the last refresh; 1.25 is a good default).
+  TopKSampler(size_t k, uint64_t seed, double compaction_slack = 1.25);
+
+  // Processes one stream element.
+  void Add(uint64_t item);
+
+  // The current adaptive threshold T(t).
+  double Threshold() const { return threshold_; }
+
+  // Number of entries currently stored (the "size" of Figure 3 right).
+  size_t size() const { return table_.size(); }
+
+  // Unbiased estimate of `item`'s count (0 when not in the sketch).
+  double EstimatedCount(uint64_t item) const;
+
+  // The k items with largest estimated counts, descending.
+  std::vector<uint64_t> TopK() const;
+
+  // All entries, for diagnostics and disaggregated estimation.
+  std::vector<ItemState> Entries() const;
+
+  // Sample entries for HT-style disaggregated subset sums: value = the
+  // item's unbiased count estimate, inclusion probability already folded
+  // in (entries carry pi = 1, since Estimate() is itself the HT value).
+  // Summing Estimate() over a key subset estimates that subset's total
+  // count unbiasedly.
+  double EstimatedSubsetCount(
+      const std::function<bool(uint64_t)>& in_subset) const;
+
+  // Forces a threshold refresh (also runs automatically).
+  void Compact();
+
+  int64_t total_count() const { return total_; }
+
+ private:
+  size_t k_;
+  double compaction_slack_;
+  Xoshiro256 rng_;
+  double threshold_ = 1.0;
+  std::unordered_map<uint64_t, ItemState> table_;
+  size_t compact_at_ = 16;  // size watermark that triggers Compact()
+  int64_t total_ = 0;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_TOPK_SAMPLER_H_

@@ -1,0 +1,92 @@
+// Variance-sized samples (Section 3.9) and the heuristic streaming version
+// justified by the asymptotic theory (Section 6).
+//
+// Priority sampling bounds the *relative* error of a sum; to bound the
+// *absolute* error at Var <= delta^2, the threshold is chosen as the
+// stopping point T where the unbiased HT variance estimate first reaches
+// delta^2 while scanning thresholds downward:
+//
+//   Vhat(S_t) = sum_{R_i < t, w_i t < 1} x_i^2 (1 - w_i t) / (w_i t).
+//
+// Between priority values Vhat is continuous and increasing as t
+// decreases, so the stop crosses delta^2 exactly and E Vhat(S_T) = delta^2.
+//
+// Streaming subtlety (the paper's own caveat): Vhat_n(t) grows with the
+// data, so the stopping threshold grows with the stream -- "the stopping
+// time may be a larger threshold that includes additional points that are
+// not in the sample". A sampler that eagerly discarded everything above
+// its current crossing could never raise the threshold again; recovering
+// the true stopping time requires oversampling. VarianceSizedSampler
+// therefore retains the stream (the maximal oversampling that always
+// recovers the exact stopping time) and exposes, at every prefix, the
+// exact prefix stopping threshold and the sample below it. Bounded-memory
+// deployments pair it with a known data scale (Section 3.10's AQP engine,
+// where the scan direction makes the threshold grow naturally).
+#ifndef ATS_SAMPLERS_VARIANCE_SIZED_H_
+#define ATS_SAMPLERS_VARIANCE_SIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+struct VarianceSizedItem {
+  uint64_t key = 0;
+  double value = 0.0;   // x_i, the summand
+  double weight = 1.0;  // w_i, the sampling weight (priority R = U/w)
+  double priority = 0.0;
+};
+
+struct VarianceSizedResult {
+  double threshold = kInfiniteThreshold;
+  std::vector<SampleEntry> sample;
+};
+
+// Exact offline stopping threshold over a complete item set: the largest t
+// with Vhat(S_t) >= delta_squared. Returns +infinity (and the full sample
+// at probability one) when the target cannot be reached by thinning.
+VarianceSizedResult SolveVarianceSizedThreshold(
+    std::vector<VarianceSizedItem> items, double delta_squared);
+
+// Streaming wrapper: draws priorities internally and maintains the exact
+// prefix stopping threshold. The prefix threshold is monotone
+// NON-DECREASING in the stream length (more data forces a larger
+// threshold for the same absolute target).
+class VarianceSizedSampler {
+ public:
+  VarianceSizedSampler(double delta_squared, uint64_t seed);
+
+  // Feeds one weighted item.
+  void Add(uint64_t key, double value, double weight);
+
+  // Exact stopping threshold for the stream so far.
+  double Threshold() const;
+
+  // Items below the current stopping threshold, with HT metadata.
+  std::vector<SampleEntry> Sample() const;
+
+  // Number of items in the current sample (below the threshold).
+  size_t SampleSize() const;
+
+  // HT variance estimate at the current threshold; equals delta^2 exactly
+  // whenever the threshold is finite.
+  double VarianceEstimate() const;
+
+  size_t stream_size() const { return items_.size(); }
+
+ private:
+  void Refresh() const;
+
+  double delta_squared_;
+  Xoshiro256 rng_;
+  std::vector<VarianceSizedItem> items_;
+  mutable bool dirty_ = true;
+  mutable double threshold_ = kInfiniteThreshold;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SAMPLERS_VARIANCE_SIZED_H_

@@ -1,0 +1,125 @@
+#include "ats/sketch/group_distinct.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+namespace {
+
+// Per-(group, key) coordinated priority: coordination is only needed
+// within a group, so the group id perturbs the salt.
+double GroupKeyPriority(uint64_t group, uint64_t key, uint64_t salt) {
+  return HashToUnit(HashKey(key, salt ^ Mix64(group)));
+}
+
+}  // namespace
+
+GroupDistinctSketch::GroupDistinctSketch(size_t m, size_t k,
+                                         uint64_t hash_salt)
+    : m_(m), k_(k), hash_salt_(hash_salt) {
+  ATS_CHECK(m >= 1);
+  ATS_CHECK(k >= 1);
+}
+
+void GroupDistinctSketch::Add(uint64_t group, uint64_t key) {
+  const double priority = GroupKeyPriority(group, key, hash_salt_);
+  auto it = promoted_.find(group);
+  if (it == promoted_.end() && promoted_.size() < m_) {
+    // Bootstrap: the first m distinct groups get their own sketch.
+    it = promoted_
+             .emplace(group, KmvSketch(k_, pool_threshold_, hash_salt_))
+             .first;
+  }
+  if (it != promoted_.end()) {
+    const double before = it->second.Threshold();
+    it->second.OfferPriority(priority, key);
+    if (it->second.Threshold() < before && before >= pool_threshold_) {
+      // The max-threshold sketch may have shrunk: refresh the pool bound.
+      RecomputePoolThreshold();
+    }
+    return;
+  }
+  if (priority < pool_threshold_) {
+    auto& samples = pool_[group];
+    samples.insert(priority);
+    if (samples.size() > k_) MaybePromote(group);
+  }
+}
+
+void GroupDistinctSketch::MaybePromote(uint64_t group) {
+  // Demote the promoted group with the largest threshold.
+  auto victim = promoted_.begin();
+  for (auto it = promoted_.begin(); it != promoted_.end(); ++it) {
+    if (it->second.Threshold() > victim->second.Threshold()) victim = it;
+  }
+  // Build the newcomer's sketch from its pool items; its items were
+  // filtered at (past, larger) pool thresholds, so starting at the current
+  // pool threshold is a valid per-sketch threshold.
+  KmvSketch sketch(k_, pool_threshold_, hash_salt_);
+  for (double p : pool_.at(group)) sketch.OfferPriority(p, /*key=*/0);
+  pool_.erase(group);
+
+  // Demoted members return to the pool (subject to the pool threshold,
+  // re-checked by PurgePool below).
+  auto& demoted_samples = pool_[victim->first];
+  for (const auto& [priority, key] : victim->second.members()) {
+    demoted_samples.insert(priority);
+  }
+  promoted_.erase(victim);
+  promoted_.emplace(group, std::move(sketch));
+
+  RecomputePoolThreshold();
+}
+
+void GroupDistinctSketch::RecomputePoolThreshold() {
+  double t = 1.0;
+  if (promoted_.size() >= m_) {
+    t = 0.0;
+    for (const auto& [group, sketch] : promoted_) {
+      t = std::max(t, sketch.Threshold());
+    }
+  }
+  if (t < pool_threshold_) {
+    pool_threshold_ = t;
+    PurgePool();
+  }
+}
+
+void GroupDistinctSketch::PurgePool() {
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    auto& samples = it->second;
+    samples.erase(samples.lower_bound(pool_threshold_), samples.end());
+    it = samples.empty() ? pool_.erase(it) : std::next(it);
+  }
+}
+
+double GroupDistinctSketch::Estimate(uint64_t group) const {
+  const auto pit = promoted_.find(group);
+  if (pit != promoted_.end()) return pit->second.Estimate();
+  const auto it = pool_.find(group);
+  if (it == pool_.end()) return 0.0;
+  return static_cast<double>(it->second.size()) / pool_threshold_;
+}
+
+size_t GroupDistinctSketch::StoredItems() const {
+  size_t total = 0;
+  for (const auto& [group, sketch] : promoted_) total += sketch.size();
+  for (const auto& [group, samples] : pool_) total += samples.size();
+  return total;
+}
+
+std::vector<uint64_t> GroupDistinctSketch::GroupsWithSamples() const {
+  std::vector<uint64_t> out;
+  for (const auto& [group, sketch] : promoted_) {
+    if (sketch.size() > 0) out.push_back(group);
+  }
+  for (const auto& [group, samples] : pool_) {
+    if (!samples.empty()) out.push_back(group);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ats

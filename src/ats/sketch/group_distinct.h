@@ -1,0 +1,76 @@
+// Frequent-groups distinct counting (Section 3.6).
+//
+// GROUP BY distinct-count queries can create tens of millions of tiny
+// sketches. Instead of a bottom-k sketch per group, this structure keeps
+//   * m bottom-k (KMV) sketches for the m currently-largest groups, and
+//   * one shared "general pool" of (group, hash) samples filtered at the
+//     threshold T_max = max over the m promoted groups' thresholds.
+// A new item of a promoted group goes to that group's sketch; otherwise it
+// enters the pool if its hash priority is below T_max. When a pool group
+// accumulates more than k sampled items, it is promoted: the promoted
+// group with the LARGEST threshold is demoted (its items move back to the
+// pool), so T_max is monotone non-increasing and the pool always holds a
+// valid threshold sample. In effect the sampling rate adapts to the top m
+// groups: the tolerated error for a small group is a percentage of the
+// heavy groups' sizes, and most small groups store no items at all.
+//
+// Estimates: promoted group -> its KMV estimate; pool group -> (#pool
+// items of the group) / T_max, an HT count at threshold T_max.
+#ifndef ATS_SKETCH_GROUP_DISTINCT_H_
+#define ATS_SKETCH_GROUP_DISTINCT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ats/sketch/kmv.h"
+
+namespace ats {
+
+class GroupDistinctSketch {
+ public:
+  // m: number of promoted per-group sketches; k: per-sketch capacity.
+  GroupDistinctSketch(size_t m, size_t k, uint64_t hash_salt = 0);
+
+  // Feeds one (group, key) observation.
+  void Add(uint64_t group, uint64_t key);
+
+  // Distinct-count estimate for a group (0 when the group has no sampled
+  // items -- its true count is below the resolution T_max affords).
+  double Estimate(uint64_t group) const;
+
+  // Current pool threshold T_max.
+  double PoolThreshold() const { return pool_threshold_; }
+
+  bool IsPromoted(uint64_t group) const {
+    return promoted_.contains(group);
+  }
+
+  // Total stored items (promoted sketches + pool): the memory cost.
+  size_t StoredItems() const;
+
+  size_t NumPromoted() const { return promoted_.size(); }
+  size_t PoolSize() const { return pool_.size(); }
+
+  // All groups that currently have at least one sampled item.
+  std::vector<uint64_t> GroupsWithSamples() const;
+
+ private:
+  void RecomputePoolThreshold();
+  void PurgePool();
+  void MaybePromote(uint64_t group);
+
+  size_t m_;
+  size_t k_;
+  uint64_t hash_salt_;
+  double pool_threshold_ = 1.0;
+  std::unordered_map<uint64_t, KmvSketch> promoted_;
+  // Pool: group -> set of retained hash priorities (dedup per group).
+  std::unordered_map<uint64_t, std::set<double>> pool_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SKETCH_GROUP_DISTINCT_H_

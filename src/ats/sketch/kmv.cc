@@ -1,0 +1,100 @@
+#include "ats/sketch/kmv.h"
+
+#include "ats/util/check.h"
+#include "ats/util/serialize.h"
+
+namespace {
+constexpr uint32_t kKmvMagic = 0x4b4d5601;  // "KMV" + version 1
+}  // namespace
+
+namespace ats {
+
+KmvSketch::KmvSketch(size_t k, double initial_threshold, uint64_t hash_salt)
+    : k_(k), threshold_(initial_threshold), hash_salt_(hash_salt) {
+  ATS_CHECK(k >= 1);
+  ATS_CHECK(initial_threshold > 0.0 && initial_threshold <= 1.0);
+}
+
+bool KmvSketch::AddKey(uint64_t key) {
+  return OfferPriority(HashToUnit(HashKey(key, hash_salt_)), key);
+}
+
+bool KmvSketch::OfferPriority(double priority, uint64_t key) {
+  if (priority >= threshold_) return false;
+  const auto it = members_.find(priority);
+  if (it != members_.end()) return true;  // duplicate key
+  members_.emplace(priority, key);
+  if (members_.size() > k_) EvictTop();
+  return priority < threshold_;
+}
+
+void KmvSketch::EvictTop() {
+  const auto top = std::prev(members_.end());
+  threshold_ = top->first;
+  saturated_ = true;
+  members_.erase(top);
+}
+
+double KmvSketch::Estimate() const {
+  return static_cast<double>(members_.size()) / threshold_;
+}
+
+std::string KmvSketch::SerializeToString() const {
+  ByteWriter w;
+  w.WriteU32(kKmvMagic);
+  w.WriteU64(k_);
+  w.WriteU64(hash_salt_);
+  w.WriteDouble(threshold_);
+  w.WriteU32(saturated_ ? 1 : 0);
+  w.WriteU64(members_.size());
+  for (const auto& [priority, key] : members_) {
+    w.WriteDouble(priority);
+    w.WriteU64(key);
+  }
+  return w.Take();
+}
+
+std::optional<KmvSketch> KmvSketch::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.ReadU32();
+  if (!magic || *magic != kKmvMagic) return std::nullopt;
+  const auto k = r.ReadU64();
+  const auto salt = r.ReadU64();
+  const auto threshold = r.ReadDouble();
+  const auto saturated = r.ReadU32();
+  const auto count = r.ReadU64();
+  if (!k || !salt || !threshold || !saturated || !count) return std::nullopt;
+  if (*k < 1 || *threshold <= 0.0 || *threshold > 1.0 || *count > *k) {
+    return std::nullopt;
+  }
+  KmvSketch sketch(*k, 1.0, *salt);
+  sketch.threshold_ = *threshold;
+  sketch.saturated_ = *saturated != 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    const auto priority = r.ReadDouble();
+    const auto key = r.ReadU64();
+    if (!priority || !key.has_value()) return std::nullopt;
+    if (*priority <= 0.0 || *priority >= *threshold) return std::nullopt;
+    sketch.members_.emplace(*priority, *key);
+  }
+  if (!r.AtEnd() || sketch.members_.size() != *count) return std::nullopt;
+  return sketch;
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  ATS_CHECK(hash_salt_ == other.hash_salt_);
+  if (other.threshold_ < threshold_) {
+    threshold_ = other.threshold_;
+    saturated_ = saturated_ || other.saturated_;
+    // Purge members at/above the lowered threshold.
+    while (!members_.empty() &&
+           std::prev(members_.end())->first >= threshold_) {
+      members_.erase(std::prev(members_.end()));
+    }
+  }
+  for (const auto& [priority, key] : other.members_) {
+    OfferPriority(priority, key);
+  }
+}
+
+}  // namespace ats

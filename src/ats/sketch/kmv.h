@@ -1,0 +1,88 @@
+// KMV / bottom-k distinct-counting sketch (Sections 3.4-3.5; [15], [3]).
+//
+// Every distinct key hashes to a coordinated priority in (0, 1]; the sketch
+// keeps the k smallest distinct hash priorities. The adaptive threshold
+// theta is the (k+1)-th smallest distinct priority seen (capped at the
+// optional initial threshold), and the distinct-count estimate is the HT
+// count  N_hat = (#retained)/theta  -- exact while unsaturated. The
+// bottom-k threshold is fully substitutable, so the estimate is unbiased.
+//
+// The sketch also supports the weighted distinct counting of Section 3.4:
+// with WeightedUniform priorities (R = U/w), the same structure samples
+// paying users proportionally to spend while N_hat = sum_i 1/F_i(w_i T)
+// still estimates the total population.
+#ifndef ATS_SKETCH_KMV_H_
+#define ATS_SKETCH_KMV_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ats/core/random.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class KmvSketch {
+ public:
+  // k: sketch capacity. `initial_threshold` (default 1 = the whole unit
+  // interval) lets composite sketches start pre-filtered, as the grouped
+  // sketch of Section 3.6 requires.
+  explicit KmvSketch(size_t k, double initial_threshold = 1.0,
+                     uint64_t hash_salt = 0);
+
+  // Feeds one key (duplicates are ignored -- coordinated hashing makes the
+  // priority a function of the key). Returns true iff the key's priority
+  // is currently retained.
+  bool AddKey(uint64_t key);
+
+  // Feeds a pre-computed unit-interval priority directly (used by merges
+  // and by weighted variants). Duplicate priorities are treated as
+  // duplicate keys.
+  bool OfferPriority(double priority, uint64_t key);
+
+  // Current threshold theta in (0, 1].
+  double Threshold() const { return threshold_; }
+
+  // Number of retained distinct priorities.
+  size_t size() const { return members_.size(); }
+
+  bool saturated() const { return saturated_; }
+
+  // Unbiased distinct-count estimate: size / theta.
+  double Estimate() const;
+
+  // Retained (priority, key) pairs, ascending by priority.
+  const std::map<double, uint64_t>& members() const { return members_; }
+
+  // Merges another KMV sketch over the SAME key universe hashing (same
+  // salt): the result is the KMV sketch of the union of the streams, with
+  // threshold min(theta_a, theta_b, merge evictions). This is the basic
+  // bottom-k union baseline of Figure 4.
+  void Merge(const KmvSketch& other);
+
+  uint64_t hash_salt() const { return hash_salt_; }
+  size_t k() const { return k_; }
+
+  // Wire format for shipping sketches between nodes: magic/version header
+  // plus the full sketch state. Deserialize returns nullopt on corrupt or
+  // foreign input.
+  std::string SerializeToString() const;
+  static std::optional<KmvSketch> Deserialize(std::string_view bytes);
+
+ private:
+  void EvictTop();
+
+  size_t k_;
+  double threshold_;
+  bool saturated_ = false;
+  uint64_t hash_salt_;
+  std::map<double, uint64_t> members_;  // priority -> key, ascending
+};
+
+}  // namespace ats
+
+#endif  // ATS_SKETCH_KMV_H_

@@ -1,0 +1,68 @@
+#include "ats/sketch/lcs_merge.h"
+
+#include <algorithm>
+
+#include "ats/util/serialize.h"
+
+namespace {
+constexpr uint32_t kLcsMagic = 0x4c435301;  // "LCS" + version 1
+}  // namespace
+
+namespace ats {
+
+LcsSketch LcsSketch::FromKmv(const KmvSketch& kmv) {
+  LcsSketch out;
+  const double theta = kmv.Threshold();
+  for (const auto& [priority, key] : kmv.members()) {
+    out.items_.emplace(priority, theta);
+  }
+  return out;
+}
+
+void LcsSketch::Merge(const LcsSketch& other) {
+  for (const auto& [priority, threshold] : other.items_) {
+    auto [it, inserted] = items_.emplace(priority, threshold);
+    if (!inserted) it->second = std::max(it->second, threshold);
+  }
+}
+
+std::string LcsSketch::SerializeToString() const {
+  ByteWriter w;
+  w.WriteU32(kLcsMagic);
+  w.WriteU64(items_.size());
+  for (const auto& [priority, threshold] : items_) {
+    w.WriteDouble(priority);
+    w.WriteDouble(threshold);
+  }
+  return w.Take();
+}
+
+std::optional<LcsSketch> LcsSketch::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.ReadU32();
+  if (!magic || *magic != kLcsMagic) return std::nullopt;
+  const auto count = r.ReadU64();
+  if (!count) return std::nullopt;
+  LcsSketch sketch;
+  for (uint64_t i = 0; i < *count; ++i) {
+    const auto priority = r.ReadDouble();
+    const auto threshold = r.ReadDouble();
+    if (!priority || !threshold) return std::nullopt;
+    if (*priority <= 0.0 || *threshold <= 0.0 || *priority >= *threshold) {
+      return std::nullopt;
+    }
+    sketch.items_.emplace(*priority, *threshold);
+  }
+  if (!r.AtEnd() || sketch.items_.size() != *count) return std::nullopt;
+  return sketch;
+}
+
+double LcsSketch::Estimate() const {
+  double total = 0.0;
+  for (const auto& [priority, threshold] : items_) {
+    total += 1.0 / threshold;
+  }
+  return total;
+}
+
+}  // namespace ats

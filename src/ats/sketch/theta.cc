@@ -1,0 +1,58 @@
+#include "ats/sketch/theta.h"
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+ThetaSketch::ThetaSketch(size_t k, uint64_t hash_salt)
+    : kmv_(k, 1.0, hash_salt) {}
+
+ThetaSketch::ThetaSketch() : union_mode_(true), kmv_(1) {}
+
+void ThetaSketch::AddKey(uint64_t key) {
+  ATS_CHECK_MSG(!union_mode_, "cannot add keys to a union result");
+  kmv_.AddKey(key);
+}
+
+double ThetaSketch::Theta() const {
+  return union_mode_ ? union_theta_ : kmv_.Threshold();
+}
+
+size_t ThetaSketch::size() const {
+  return union_mode_ ? union_retained_.size() : kmv_.size();
+}
+
+double ThetaSketch::Estimate() const {
+  return static_cast<double>(size()) / Theta();
+}
+
+std::vector<double> ThetaSketch::RetainedPriorities() const {
+  std::vector<double> out;
+  if (union_mode_) {
+    out.assign(union_retained_.begin(), union_retained_.end());
+  } else {
+    out.reserve(kmv_.size());
+    for (const auto& [priority, key] : kmv_.members()) {
+      out.push_back(priority);
+    }
+  }
+  return out;
+}
+
+ThetaSketch ThetaSketch::Union(
+    const std::vector<const ThetaSketch*>& inputs) {
+  ATS_CHECK(!inputs.empty());
+  ThetaSketch out;
+  out.union_theta_ = 1.0;
+  for (const ThetaSketch* s : inputs) {
+    out.union_theta_ = std::min(out.union_theta_, s->Theta());
+  }
+  for (const ThetaSketch* s : inputs) {
+    for (double p : s->RetainedPriorities()) {
+      if (p < out.union_theta_) out.union_retained_.insert(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,54 @@
+// Theta sketch baseline (Dasgupta et al. [11]; Sections 3.4-3.5).
+//
+// A Theta sketch is a (threshold, retained-hash-set) pair. Streams are
+// sketched exactly like KMV (theta = (k+1)-th smallest distinct hash), but
+// the UNION rule differs from the bottom-k merge: the union threshold is
+// theta = min over inputs, and every retained hash below theta is kept --
+// the result may hold more than k hashes and is NOT re-capped. The union
+// estimate is (#retained)/theta. This "1-goodness" merge is the baseline
+// the generalized LCS merge of Section 3.5 (lcs_merge.h) improves upon.
+#ifndef ATS_SKETCH_THETA_H_
+#define ATS_SKETCH_THETA_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ats/sketch/kmv.h"
+
+namespace ats {
+
+class ThetaSketch {
+ public:
+  // Sketches a stream with nominal capacity k (identical to KMV).
+  explicit ThetaSketch(size_t k, uint64_t hash_salt = 0);
+
+  void AddKey(uint64_t key);
+
+  double Theta() const;
+  size_t size() const;
+
+  // Distinct-count estimate: (#retained)/theta.
+  double Estimate() const;
+
+  // Union of several sketches under the Theta rule (min-theta, keep all
+  // below it, no re-capping).
+  static ThetaSketch Union(const std::vector<const ThetaSketch*>& inputs);
+
+  // Retained hash priorities (ascending).
+  std::vector<double> RetainedPriorities() const;
+
+ private:
+  ThetaSketch();  // for Union results
+
+  // Exactly one of these is active: stream mode wraps a KMV sketch; union
+  // mode holds the merged retained set directly.
+  bool union_mode_ = false;
+  KmvSketch kmv_;
+  double union_theta_ = 1.0;
+  std::set<double> union_retained_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_SKETCH_THETA_H_

@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros for the ATS library.
+//
+// The library does not use exceptions (Google style). Invariant violations
+// abort with a source location and message. ATS_DCHECK compiles out in
+// NDEBUG builds and is used on hot paths.
+#ifndef ATS_UTIL_CHECK_H_
+#define ATS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ATS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ATS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ATS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ATS_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ATS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ATS_DCHECK(cond) ATS_CHECK(cond)
+#endif
+
+#endif  // ATS_UTIL_CHECK_H_

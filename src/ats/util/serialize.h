@@ -1,0 +1,60 @@
+// Minimal byte-buffer serialization used by the sketches that get shipped
+// between nodes (KMV / Theta / LCS). Fixed-width little-endian encoding,
+// header-checked, no allocations beyond the output string.
+#ifndef ATS_UTIL_SERIALIZE_H_
+#define ATS_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ats {
+
+// Appends POD values to a byte string.
+class ByteWriter {
+ public:
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteDouble(double v) { Append(&v, sizeof(v)); }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  void Append(const void* p, size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+  }
+  std::string bytes_;
+};
+
+// Reads POD values back; every accessor returns nullopt on truncation so
+// corrupt inputs fail cleanly instead of crashing.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::optional<uint32_t> ReadU32() { return Read<uint32_t>(); }
+  std::optional<uint64_t> ReadU64() { return Read<uint64_t>(); }
+  std::optional<double> ReadDouble() { return Read<double>(); }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  std::optional<T> Read() {
+    if (pos_ + sizeof(T) > bytes_.size()) return std::nullopt;
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ats
+
+#endif  // ATS_UTIL_SERIALIZE_H_

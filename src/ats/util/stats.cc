@@ -1,0 +1,147 @@
+#include "ats/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::PopulationVariance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(SampleVariance()); }
+
+double RunningStat::Rmse(double center) const {
+  if (count_ == 0) return 0.0;
+  const double bias = mean_ - center;
+  return std::sqrt(PopulationVariance() + bias * bias);
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  ATS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double KsStatisticUniform(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  for (double& x : xs) x = std::clamp(x, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double cdf_lo = static_cast<double>(i) / n;
+    const double cdf_hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(xs[i] - cdf_lo, cdf_hi - xs[i]));
+  }
+  return d;
+}
+
+double KsPValue(double statistic, size_t n) {
+  if (n == 0) return 1.0;
+  const double en = std::sqrt(static_cast<double>(n));
+  const double lambda = (en + 0.12 + 0.11 / en) * statistic;
+  // Asymptotic Kolmogorov series, truncated; standard numerical recipe.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * lambda * lambda * j * j);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double ChiSquareUniform(const std::vector<int64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0.0;
+  for (int64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+double ChiSquareCritical999(int df) {
+  ATS_CHECK(df >= 1);
+  // Wilson-Hilferty: chi2_p(df) ~ df * (1 - 2/(9 df) + z_p sqrt(2/(9 df)))^3
+  const double z999 = 3.0902;  // standard normal 99.9% quantile
+  const double d = static_cast<double>(df);
+  const double a = 2.0 / (9.0 * d);
+  const double cube = 1.0 - a + z999 * std::sqrt(a);
+  return d * cube * cube * cube;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  ATS_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ats

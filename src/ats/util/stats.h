@@ -1,0 +1,68 @@
+// Small statistics toolkit used by estimators, tests, and benches:
+// numerically stable running moments, quantiles, and distribution tests
+// (chi-square and Kolmogorov-Smirnov uniformity checks).
+#ifndef ATS_UTIL_STATS_H_
+#define ATS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ats {
+
+// Welford-style accumulator for mean / variance / min / max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  // Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  // Population variance (divide by n). Zero for n < 1.
+  double PopulationVariance() const;
+  // Sample variance (divide by n-1). Zero for n < 2.
+  double SampleVariance() const;
+  double StdDev() const;
+  // Root-mean-square of the accumulated values around `center`.
+  double Rmse(double center) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact empirical quantile (linear interpolation) of a copy of `xs`.
+// q must be in [0, 1]. Returns 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+// One-sample Kolmogorov-Smirnov statistic against Uniform(0,1).
+// Input values are clamped to [0,1]. Returns sup |F_n(x) - x|.
+double KsStatisticUniform(std::vector<double> xs);
+
+// Approximate KS p-value via the asymptotic Kolmogorov distribution.
+double KsPValue(double statistic, size_t n);
+
+// Chi-square statistic for observed counts vs. equal expected counts.
+// Returns the statistic; degrees of freedom is counts.size() - 1.
+double ChiSquareUniform(const std::vector<int64_t>& counts);
+
+// Upper-tail critical value of chi-square at ~99.9% confidence via the
+// Wilson-Hilferty cube approximation. Good to a few percent for df >= 3.
+double ChiSquareCritical999(int df);
+
+// Pearson correlation of two equal-length vectors. Returns 0 for n < 2.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace ats
+
+#endif  // ATS_UTIL_STATS_H_

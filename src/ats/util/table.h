@@ -1,0 +1,47 @@
+// Aligned console-table / CSV printer used by the bench binaries so each
+// experiment prints the same rows/series the paper's figures plot.
+#ifndef ATS_UTIL_TABLE_H_
+#define ATS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ats {
+
+// Collects rows of cells and renders them either as an aligned text table
+// or as CSV. Cells are formatted by the caller (AddRow with strings) or via
+// the convenience numeric overloads.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats doubles with `precision` significant digits.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 6);
+
+  // Renders an aligned, boxed text table.
+  std::string ToText() const;
+
+  // Renders comma-separated values (header + rows).
+  std::string ToCsv() const;
+
+  // Prints ToCsv() when `csv` is true, else ToText(), to stdout.
+  void Print(bool csv = false) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+// True when argv contains "--csv": benches use this to switch output mode.
+bool HasCsvFlag(int argc, char** argv);
+
+}  // namespace ats
+
+#endif  // ATS_UTIL_TABLE_H_

@@ -1,0 +1,68 @@
+#include "ats/workload/arrivals.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+RateProfile::RateProfile(std::vector<double> breakpoints,
+                         std::vector<double> rates)
+    : breakpoints_(std::move(breakpoints)), rates_(std::move(rates)) {
+  ATS_CHECK(!breakpoints_.empty());
+  ATS_CHECK(breakpoints_.size() == rates_.size());
+  ATS_CHECK(breakpoints_.front() == 0.0);
+  for (size_t i = 1; i < breakpoints_.size(); ++i) {
+    ATS_CHECK(breakpoints_[i] > breakpoints_[i - 1]);
+  }
+  for (double r : rates_) ATS_CHECK(r > 0.0);
+}
+
+RateProfile RateProfile::Constant(double rate) {
+  return RateProfile({0.0}, {rate});
+}
+
+RateProfile RateProfile::WithSpike(double base_rate, double spike_start,
+                                   double spike_end, double spike_factor) {
+  ATS_CHECK(spike_start > 0.0 && spike_end > spike_start);
+  return RateProfile({0.0, spike_start, spike_end},
+                     {base_rate, base_rate * spike_factor, base_rate});
+}
+
+double RateProfile::RateAt(double t) const {
+  const auto it =
+      std::upper_bound(breakpoints_.begin(), breakpoints_.end(), t);
+  const size_t idx = static_cast<size_t>(it - breakpoints_.begin());
+  return rates_[idx == 0 ? 0 : idx - 1];
+}
+
+ArrivalProcess::ArrivalProcess(RateProfile profile, double max_rate,
+                               uint64_t seed)
+    : profile_(std::move(profile)), max_rate_(max_rate), rng_(seed) {
+  ATS_CHECK(max_rate_ > 0.0);
+}
+
+Arrival ArrivalProcess::Next() {
+  // Thinning (Lewis & Shedler): candidate arrivals at the max rate are
+  // accepted with probability rate(t)/max_rate.
+  for (;;) {
+    now_ += rng_.NextExponential() / max_rate_;
+    const double accept = profile_.RateAt(now_) / max_rate_;
+    ATS_DCHECK(accept <= 1.0 + 1e-12);
+    if (rng_.NextDouble() < accept) {
+      return Arrival{now_, next_id_++};
+    }
+  }
+}
+
+std::vector<Arrival> ArrivalProcess::Until(double horizon) {
+  std::vector<Arrival> out;
+  for (;;) {
+    const Arrival a = Next();
+    if (a.time >= horizon) break;
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,66 @@
+// Timestamped arrival processes for sliding-window experiments
+// (Section 3.2, Figures 1-2).
+//
+// Items arrive with Poisson inter-arrival times whose rate follows a
+// user-supplied piecewise-constant profile, e.g. a steady 1000 items/s
+// baseline with a transient spike.
+#ifndef ATS_WORKLOAD_ARRIVALS_H_
+#define ATS_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+struct Arrival {
+  double time = 0.0;
+  uint64_t id = 0;
+};
+
+// A piecewise-constant rate profile: rate(t) = segments' rate for the
+// segment containing t (the final segment extends to +infinity).
+class RateProfile {
+ public:
+  // `breakpoints` are segment start times (first must be 0, ascending);
+  // `rates` are items/sec per segment (same length, all > 0).
+  RateProfile(std::vector<double> breakpoints, std::vector<double> rates);
+
+  // Constant-rate profile.
+  static RateProfile Constant(double rate);
+
+  // Baseline rate with a multiplicative spike over [spike_start, spike_end).
+  static RateProfile WithSpike(double base_rate, double spike_start,
+                               double spike_end, double spike_factor);
+
+  double RateAt(double t) const;
+
+ private:
+  std::vector<double> breakpoints_;
+  std::vector<double> rates_;
+};
+
+// Generates Poisson arrivals under a rate profile by thinning against the
+// profile's maximum rate.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(RateProfile profile, double max_rate, uint64_t seed);
+
+  // Next arrival (times strictly increasing; ids dense from 0).
+  Arrival Next();
+
+  // All arrivals up to time `horizon`.
+  std::vector<Arrival> Until(double horizon);
+
+ private:
+  RateProfile profile_;
+  double max_rate_;
+  Xoshiro256 rng_;
+  double now_ = 0.0;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace ats
+
+#endif  // ATS_WORKLOAD_ARRIVALS_H_

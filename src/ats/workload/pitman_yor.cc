@@ -1,0 +1,67 @@
+#include "ats/workload/pitman_yor.h"
+
+#include <algorithm>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+PitmanYorStream::PitmanYorStream(double beta, uint64_t seed)
+    : beta_(beta), rng_(seed) {
+  ATS_CHECK(beta >= 0.0 && beta < 1.0);
+}
+
+uint64_t PitmanYorStream::Next() {
+  const int64_t t = total_ + 1;
+  ++total_;
+  uint64_t item;
+  if (counts_.empty()) {
+    item = 0;
+    counts_.push_back(0);
+  } else {
+    const double c = static_cast<double>(counts_.size());
+    const double p_new = (1.0 + beta_ * c) / static_cast<double>(t);
+    if (rng_.NextDouble() < p_new) {
+      item = counts_.size();
+      counts_.push_back(0);
+    } else {
+      // Existing item j with probability proportional to (n_j - beta).
+      // Rejection sampling: propose j proportional to n_j by picking a
+      // uniform past observation (O(1)), accept with prob (n_j-beta)/n_j.
+      // Expected retries are bounded by 1/(1-beta).
+      for (;;) {
+        const uint64_t j = observations_[rng_.NextBelow(observations_.size())];
+        const double nj = static_cast<double>(counts_[j]);
+        if (rng_.NextDouble() < (nj - beta_) / nj) {
+          item = j;
+          break;
+        }
+      }
+    }
+  }
+  ++counts_[item];
+  observations_.push_back(item);
+  return item;
+}
+
+int64_t PitmanYorStream::Count(uint64_t item) const {
+  if (item >= counts_.size()) return 0;
+  return counts_[item];
+}
+
+std::vector<uint64_t> PitmanYorStream::TopItems(size_t k) const {
+  std::vector<uint64_t> ids(counts_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const size_t kk = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](uint64_t a, uint64_t b) {
+                      if (counts_[a] != counts_[b]) {
+                        return counts_[a] > counts_[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(kk);
+  return ids;
+}
+
+}  // namespace ats

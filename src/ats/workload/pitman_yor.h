@@ -1,0 +1,53 @@
+// Pitman-Yor(1, beta) preferential-attachment stream generator
+// (Section 3.3, Figure 3).
+//
+// The t-th item of the stream is a brand-new item with probability
+// (1 + beta * C_t) / t, where C_t is the number of unique items seen so
+// far; otherwise it equals the j-th existing unique item with probability
+// (n_tj - beta) / t where n_tj counts occurrences of item j among the
+// first t-1 items. beta in [0, 1): larger beta yields heavier tails (less
+// separation between frequent and infrequent items).
+#ifndef ATS_WORKLOAD_PITMAN_YOR_H_
+#define ATS_WORKLOAD_PITMAN_YOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+class PitmanYorStream {
+ public:
+  // beta in [0, 1). Item ids are dense, starting at 0, in discovery order.
+  PitmanYorStream(double beta, uint64_t seed);
+
+  // Draws the next item of the stream.
+  uint64_t Next();
+
+  // Number of occurrences of `item` so far.
+  int64_t Count(uint64_t item) const;
+
+  // Number of unique items so far.
+  size_t NumUnique() const { return counts_.size(); }
+
+  // Total stream length so far.
+  int64_t TotalCount() const { return total_; }
+
+  // Item ids sorted by descending true frequency (ties by id). This is the
+  // ground truth for top-k evaluation.
+  std::vector<uint64_t> TopItems(size_t k) const;
+
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+ private:
+  double beta_;
+  Xoshiro256 rng_;
+  std::vector<int64_t> counts_;        // counts_[j] = occurrences of item j
+  std::vector<uint64_t> observations_; // full stream, for O(1) CRP proposals
+  int64_t total_ = 0;
+};
+
+}  // namespace ats
+
+#endif  // ATS_WORKLOAD_PITMAN_YOR_H_

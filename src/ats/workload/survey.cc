@@ -1,0 +1,55 @@
+#include "ats/workload/survey.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+SurveyGenerator::SurveyGenerator(uint64_t seed, double max_size,
+                                 double mean_size)
+    : rng_(seed), max_size_(max_size), mean_size_(mean_size) {
+  ATS_CHECK(max_size_ > mean_size_ && mean_size_ > 0.0);
+}
+
+double SurveyGenerator::RawSize() {
+  // Mixture: 60% partially-completed categorical rows (short, roughly
+  // uniform), 40% rows with free-text answers (lognormal body). Raw sizes
+  // are later rescaled to the target mean/max.
+  if (rng_.NextDouble() < 0.6) {
+    return 50.0 + 900.0 * rng_.NextDouble();
+  }
+  const double body = std::exp(7.0 + 0.6 * rng_.NextGaussian());
+  return 400.0 + body;
+}
+
+SurveyResponse SurveyGenerator::Next() {
+  SurveyResponse r;
+  r.id = next_id_++;
+  r.size = std::min(RawSize(), 4.0 * mean_size_ + 53.0);
+  r.value = 1.0;
+  return r;
+}
+
+std::vector<SurveyResponse> SurveyGenerator::Generate(size_t n) {
+  ATS_CHECK(n >= 2);
+  std::vector<SurveyResponse> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  // Affine calibration size -> a*size + b so the empirical mean and max hit
+  // the targets exactly; sizes stay positive because the raw min exceeds
+  // the (raw mean - raw max gap) pullback for these mixtures.
+  double mean = 0.0, mx = 0.0;
+  for (const auto& r : out) {
+    mean += r.size;
+    mx = std::max(mx, r.size);
+  }
+  mean /= static_cast<double>(n);
+  const double a = (max_size_ - mean_size_) / (mx - mean);
+  const double b = mean_size_ - a * mean;
+  for (auto& r : out) r.size = std::max(1.0, a * r.size + b);
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,89 @@
+#include "ats/workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+std::vector<WeightedItem> MakeWeightedPopulation(size_t n, uint64_t seed,
+                                                 bool value_equals_weight,
+                                                 double sigma) {
+  Xoshiro256 rng(seed);
+  std::vector<WeightedItem> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].key = i;
+    out[i].weight = std::exp(sigma * rng.NextGaussian());
+    out[i].value = value_equals_weight
+                       ? out[i].weight
+                       : std::exp(sigma * rng.NextGaussian());
+  }
+  return out;
+}
+
+std::vector<BivariatePoint> MakeCorrelatedGaussian(size_t n, double rho,
+                                                   uint64_t seed) {
+  ATS_CHECK(rho >= -1.0 && rho <= 1.0);
+  Xoshiro256 rng(seed);
+  std::vector<BivariatePoint> out(n);
+  const double c = std::sqrt(1.0 - rho * rho);
+  for (auto& p : out) {
+    const double z1 = rng.NextGaussian();
+    const double z2 = rng.NextGaussian();
+    p.x = z1;
+    p.y = rho * z1 + c * z2;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> MakeObjectiveWeights(size_t n,
+                                                      size_t num_objectives,
+                                                      double mix,
+                                                      uint64_t seed,
+                                                      double sigma) {
+  ATS_CHECK(mix >= 0.0 && mix <= 1.0);
+  ATS_CHECK(num_objectives >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> weights(
+      num_objectives, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const double shared = rng.NextGaussian();
+    for (size_t j = 0; j < num_objectives; ++j) {
+      const double own = rng.NextGaussian();
+      weights[j][i] =
+          std::exp(sigma * ((1.0 - mix) * own + mix * shared));
+    }
+  }
+  return weights;
+}
+
+SetPair MakeSetPairWithJaccard(size_t size_a, size_t size_b, double jaccard,
+                               uint64_t seed) {
+  ATS_CHECK(jaccard >= 0.0 && jaccard < 1.0);
+  // |A ∩ B| = J/(1+J) * (|A| + |B|); requires the result <= min(|A|, |B|).
+  const double total = static_cast<double>(size_a + size_b);
+  size_t inter =
+      static_cast<size_t>(std::llround(jaccard / (1.0 + jaccard) * total));
+  inter = std::min({inter, size_a, size_b});
+
+  // Unique ids: derive disjoint ranges from a seeded base so repeated
+  // trials (different seeds) use different key universes.
+  const uint64_t base = Mix64(seed) & 0x0fffffffffffffffULL;
+  SetPair out;
+  out.a.reserve(size_a);
+  out.b.reserve(size_b);
+  uint64_t next = base;
+  for (size_t i = 0; i < inter; ++i) {
+    out.a.push_back(next);
+    out.b.push_back(next);
+    ++next;
+  }
+  for (size_t i = inter; i < size_a; ++i) out.a.push_back(next++);
+  for (size_t i = inter; i < size_b; ++i) out.b.push_back(next++);
+  out.intersection_size = inter;
+  out.union_size = size_a + size_b - inter;
+  return out;
+}
+
+}  // namespace ats

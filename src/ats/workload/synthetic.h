@@ -1,0 +1,61 @@
+// Synthetic data generators for the estimator and sketch experiments:
+//   * weighted populations (for subset-sum / PPS sampling),
+//   * correlated bivariate data (Kendall tau, Section 2.6.2),
+//   * correlated multi-objective weights (Section 3.8),
+//   * pairs of key sets with a target Jaccard similarity (Figure 4).
+#ifndef ATS_WORKLOAD_SYNTHETIC_H_
+#define ATS_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+struct WeightedItem {
+  uint64_t key = 0;
+  double weight = 1.0;  // sampling weight (and PPS size)
+  double value = 0.0;   // aggregation value
+};
+
+// A weighted population with heavy-ish tailed weights (lognormal) and
+// values equal to weights (the PPS-optimal case) or independent.
+std::vector<WeightedItem> MakeWeightedPopulation(size_t n, uint64_t seed,
+                                                 bool value_equals_weight,
+                                                 double sigma = 1.0);
+
+// Bivariate Gaussian sample with correlation rho; used as ground truth for
+// Kendall's tau (population tau = 2/pi * asin(rho)).
+struct BivariatePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+std::vector<BivariatePoint> MakeCorrelatedGaussian(size_t n, double rho,
+                                                   uint64_t seed);
+
+// Per-item weights for c objectives with pairwise correlation controlled by
+// `mix` in [0, 1]: weight_j(i) = exp(sigma * ((1-mix) * g_j + mix * g)),
+// where g is shared across objectives and g_j are independent. mix = 1
+// yields identical (scalar-multiple) weights, mix = 0 independent ones.
+std::vector<std::vector<double>> MakeObjectiveWeights(size_t n,
+                                                      size_t num_objectives,
+                                                      double mix,
+                                                      uint64_t seed,
+                                                      double sigma = 1.0);
+
+// Two key sets with |A| = size_a, |B| = size_b and Jaccard similarity
+// approximately `jaccard` (exact intersection size is rounded). Keys are
+// globally unique 64-bit ids.
+struct SetPair {
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  size_t union_size = 0;
+  size_t intersection_size = 0;
+};
+SetPair MakeSetPairWithJaccard(size_t size_a, size_t size_b, double jaccard,
+                               uint64_t seed);
+
+}  // namespace ats
+
+#endif  // ATS_WORKLOAD_SYNTHETIC_H_

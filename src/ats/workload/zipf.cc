@@ -1,0 +1,35 @@
+#include "ats/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ats/util/check.h"
+
+namespace ats {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s, uint64_t seed) : rng_(seed) {
+  ATS_CHECK(n >= 1);
+  ATS_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Probability(uint64_t i) const {
+  ATS_CHECK(i < cdf_.size());
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace ats

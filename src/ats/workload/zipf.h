@@ -1,0 +1,34 @@
+// Zipf-distributed item generator: P(item = i) proportional to
+// 1 / (i+1)^s over a universe of n items. Used by the frequent-items,
+// grouped-distinct, and throughput workloads.
+#ifndef ATS_WORKLOAD_ZIPF_H_
+#define ATS_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats {
+
+class ZipfGenerator {
+ public:
+  // n >= 1 items, exponent s >= 0 (s = 0 is uniform).
+  ZipfGenerator(size_t n, double s, uint64_t seed);
+
+  // Draws the next item id in [0, n). Item 0 is the most frequent.
+  uint64_t Next();
+
+  // Exact probability of item i.
+  double Probability(uint64_t i) const;
+
+  size_t universe() const { return cdf_.size(); }
+
+ private:
+  Xoshiro256 rng_;
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace ats
+
+#endif  // ATS_WORKLOAD_ZIPF_H_

@@ -1,0 +1,162 @@
+// Tests for ats/aqp/: early-stopping query engine and the multi-objective
+// physical layout (Section 3.10).
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/aqp/engine.h"
+#include "ats/aqp/layout.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+std::vector<AqpEngine::Row> MakeRows(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<AqpEngine::Row> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = i;
+    rows[i].weight = std::exp(0.5 * rng.NextGaussian());
+    rows[i].value = rows[i].weight;  // PPS case
+  }
+  return rows;
+}
+
+TEST(AqpEngine, TighterTargetReadsMoreRows) {
+  AqpEngine engine(MakeRows(20000, 1), 2);
+  const auto all = [](uint64_t) { return true; };
+  const auto loose = engine.QuerySum(all, 200.0);
+  const auto tight = engine.QuerySum(all, 20.0);
+  EXPECT_LT(loose.rows_read, tight.rows_read);
+  EXPECT_LT(tight.rows_read, engine.table_size());
+}
+
+TEST(AqpEngine, StopVarianceMeetsTarget) {
+  AqpEngine engine(MakeRows(20000, 3), 4);
+  for (double delta : {50.0, 100.0, 400.0}) {
+    const auto r = engine.QuerySum([](uint64_t) { return true; }, delta);
+    EXPECT_LE(r.variance, delta * delta * (1.0 + 1e-9)) << delta;
+  }
+}
+
+TEST(AqpEngine, EstimatesAreAccurate) {
+  const auto rows = MakeRows(20000, 5);
+  double truth = 0.0;
+  for (const auto& r : rows) truth += r.value;
+  RunningStat err;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    AqpEngine engine(rows, seed);
+    const auto r = engine.QuerySum([](uint64_t) { return true; }, 60.0);
+    err.Add(r.estimate - truth);
+  }
+  // Errors should be consistent with the requested stderr scale.
+  EXPECT_LT(std::abs(err.mean()), 60.0);
+  EXPECT_LT(err.StdDev(), 3.0 * 60.0);
+}
+
+TEST(AqpEngine, PredicateQueriesWork) {
+  const auto rows = MakeRows(30000, 7);
+  double truth = 0.0;
+  for (const auto& r : rows) {
+    if (r.key % 5 == 0) truth += r.value;
+  }
+  AqpEngine engine(rows, 8);
+  const auto r =
+      engine.QuerySum([](uint64_t k) { return k % 5 == 0; }, 40.0);
+  EXPECT_NEAR(r.estimate, truth, 5.0 * 40.0);
+  EXPECT_LT(r.rows_read, engine.table_size());
+}
+
+TEST(AqpEngine, ExhaustiveScanIsExact) {
+  const auto rows = MakeRows(500, 9);
+  double truth = 0.0;
+  for (const auto& r : rows) truth += r.value;
+  AqpEngine engine(rows, 10);
+  // Near-impossible target: reads (almost) everything. The scan may stop
+  // one row short of the end when every read row's inclusion probability
+  // has saturated (the variance estimate is exactly 0 there), so allow
+  // n-1 and a small residual from the final unread row.
+  const auto r = engine.QuerySum([](uint64_t) { return true; }, 1e-12);
+  EXPECT_GE(r.rows_read, 499u);
+  EXPECT_NEAR(r.estimate, truth, 0.01 * truth);
+  EXPECT_LE(r.variance, 1e-20);
+}
+
+// --- Multi-objective layout ---
+
+std::vector<AqpRow> MakeLayoutRows(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<AqpRow> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].key = i;
+    rows[i].value = 1.0 + rng.NextDouble();
+    rows[i].weights = {std::exp(0.4 * rng.NextGaussian()),
+                       std::exp(0.4 * rng.NextGaussian())};
+  }
+  return rows;
+}
+
+TEST(Layout, BlocksPartitionTheTable) {
+  MultiObjectiveLayout layout(MakeLayoutRows(1000, 1), 10, 2);
+  std::set<uint64_t> seen;
+  size_t total = 0;
+  for (size_t b = 0; b < layout.num_blocks(); ++b) {
+    for (const AqpRow* row : layout.Block(b)) {
+      EXPECT_TRUE(seen.insert(row->key).second) << "duplicate row";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Layout, ReadingMBlocksYieldsAtLeastMkPerObjective) {
+  MultiObjectiveLayout layout(MakeLayoutRows(5000, 3), 20, 4);
+  for (size_t m : {1u, 3u, 8u}) {
+    for (size_t j = 0; j < 2; ++j) {
+      const auto sample = layout.ReadSample(m, j);
+      EXPECT_GE(sample.size(), m * 20) << "m=" << m << " obj=" << j;
+    }
+  }
+}
+
+TEST(Layout, SampleEntriesAreBelowThreshold) {
+  MultiObjectiveLayout layout(MakeLayoutRows(2000, 5), 15, 6);
+  const double tau = layout.ThresholdAfter(4, 0);
+  for (const auto& e : layout.ReadSample(4, 0)) {
+    EXPECT_LT(e.priority, tau);
+    EXPECT_DOUBLE_EQ(e.threshold, tau);
+  }
+}
+
+TEST(Layout, HtEstimatesFromPrefixAreUnbiased) {
+  const auto rows = MakeLayoutRows(800, 7);
+  double truth = 0.0;
+  for (const auto& r : rows) truth += r.value;
+  RunningStat est;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    MultiObjectiveLayout layout(rows, 25, 100 + static_cast<uint64_t>(t));
+    est.Add(HtTotal(layout.ReadSample(2, 0)));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+TEST(Layout, MoreBlocksTightenEstimates) {
+  const auto rows = MakeLayoutRows(4000, 9);
+  double truth = 0.0;
+  for (const auto& r : rows) truth += r.value;
+  RunningStat err1, err8;
+  for (int t = 0; t < 120; ++t) {
+    MultiObjectiveLayout layout(rows, 20, 500 + static_cast<uint64_t>(t));
+    err1.Add(HtTotal(layout.ReadSample(1, 1)) - truth);
+    err8.Add(HtTotal(layout.ReadSample(8, 1)) - truth);
+  }
+  EXPECT_LT(err8.StdDev(), err1.StdDev());
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,174 @@
+// Tests for ats/baselines/: FrequentItems (Misra-Gries), Space-Saving,
+// Unbiased Space-Saving, and the reservoir samplers.
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/baselines/frequent_items.h"
+#include "ats/baselines/reservoir.h"
+#include "ats/baselines/space_saving.h"
+#include "ats/util/stats.h"
+#include "ats/workload/zipf.h"
+
+namespace ats {
+namespace {
+
+TEST(FrequentItems, ExactWhenUnderCapacity) {
+  FrequentItemsSketch sketch(64);
+  for (int rep = 0; rep < 7; ++rep) sketch.Add(1);
+  for (int rep = 0; rep < 3; ++rep) sketch.Add(2);
+  EXPECT_EQ(sketch.EstimateUpper(1), 7);
+  EXPECT_EQ(sketch.EstimateLower(1), 7);
+  EXPECT_EQ(sketch.EstimateUpper(2), 3);
+  EXPECT_EQ(sketch.EstimateUpper(999), 0);
+}
+
+TEST(FrequentItems, BoundsBracketTrueCounts) {
+  // Misra-Gries guarantee: lower <= true <= upper for tracked items, and
+  // upper - lower <= offset.
+  ZipfGenerator zipf(5000, 1.1, 1);
+  FrequentItemsSketch sketch(128);
+  std::vector<int64_t> truth(5000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t x = zipf.Next();
+    ++truth[x];
+    sketch.Add(x);
+  }
+  for (uint64_t i = 0; i < 20; ++i) {
+    const int64_t lo = sketch.EstimateLower(i);
+    const int64_t hi = sketch.EstimateUpper(i);
+    if (hi == 0) continue;  // untracked
+    EXPECT_LE(lo, truth[i]) << "item " << i;
+    EXPECT_GE(hi, truth[i]) << "item " << i;
+  }
+}
+
+TEST(FrequentItems, SizeNeverExceedsEffectiveCapacity) {
+  ZipfGenerator zipf(100000, 0.6, 2);
+  FrequentItemsSketch sketch(64);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Add(zipf.Next());
+    ASSERT_LE(sketch.size(), sketch.EffectiveCapacity());
+  }
+  EXPECT_EQ(sketch.EffectiveCapacity(), 48u);
+}
+
+TEST(FrequentItems, FindsHeavyHittersOnSeparatedStream) {
+  ZipfGenerator zipf(10000, 1.5, 3);
+  FrequentItemsSketch sketch(64);
+  for (int i = 0; i < 200000; ++i) sketch.Add(zipf.Next());
+  const auto top = sketch.TopK(5);
+  std::set<uint64_t> got(top.begin(), top.end());
+  int hits = 0;
+  for (uint64_t i = 0; i < 5; ++i) hits += got.contains(i);
+  EXPECT_GE(hits, 4);
+}
+
+TEST(SpaceSaving, CapacityIsExactlyRespected) {
+  SpaceSaving sketch(10);
+  ZipfGenerator zipf(1000, 1.0, 4);
+  for (int i = 0; i < 10000; ++i) sketch.Add(zipf.Next());
+  EXPECT_EQ(sketch.size(), 10u);
+}
+
+TEST(SpaceSaving, OverestimatesNeverUnderestimate) {
+  ZipfGenerator zipf(2000, 1.2, 5);
+  SpaceSaving sketch(64);
+  std::vector<int64_t> truth(2000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t x = zipf.Next();
+    ++truth[x];
+    sketch.Add(x);
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    if (sketch.Estimate(i) > 0.0) {
+      EXPECT_GE(sketch.Estimate(i) + 1e-9, double(truth[i])) << i;
+    }
+  }
+}
+
+TEST(UnbiasedSpaceSaving, TotalIsPreservedExactly) {
+  // USS preserves the total count exactly: sum of counters == stream len.
+  ZipfGenerator zipf(500, 1.0, 6);
+  UnbiasedSpaceSaving sketch(32, 7);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sketch.Add(zipf.Next());
+  EXPECT_NEAR(sketch.EstimatedSubsetCount([](uint64_t) { return true; }),
+              double(n), 1e-9);
+}
+
+TEST(UnbiasedSpaceSaving, SubsetCountsAreUnbiased) {
+  const int n = 10000;
+  int64_t truth = 0;
+  {
+    ZipfGenerator zipf(300, 0.9, 11);
+    for (int i = 0; i < n; ++i) truth += (zipf.Next() % 3 == 0);
+  }
+  RunningStat est;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    ZipfGenerator zipf(300, 0.9, 11);  // identical stream
+    UnbiasedSpaceSaving sketch(32, 100 + static_cast<uint64_t>(t));
+    for (int i = 0; i < n; ++i) sketch.Add(zipf.Next());
+    est.Add(sketch.EstimatedSubsetCount(
+        [](uint64_t key) { return key % 3 == 0; }));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), double(truth), 4.0 * se);
+}
+
+TEST(Reservoir, UniformInclusionProbabilities) {
+  const size_t k = 10;
+  const uint64_t n = 200;
+  std::vector<int64_t> counts(n, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler sampler(k, static_cast<uint64_t>(t) + 1);
+    for (uint64_t i = 0; i < n; ++i) sampler.Add(i);
+    for (uint64_t key : sampler.sample()) ++counts[key];
+  }
+  EXPECT_LT(ChiSquareUniform(counts),
+            ChiSquareCritical999(static_cast<int>(n) - 1));
+}
+
+TEST(Reservoir, KeepsAllWhenUnderK) {
+  ReservoirSampler sampler(100, 1);
+  for (uint64_t i = 0; i < 30; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.sample().size(), 30u);
+}
+
+TEST(WeightedReservoir, HeavyItemsSampledMoreOften) {
+  const int trials = 2000;
+  int heavy = 0, light = 0;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler sampler(5, static_cast<uint64_t>(t) + 1);
+    for (uint64_t i = 0; i < 100; ++i) {
+      sampler.Add(i, i == 0 ? 20.0 : 1.0);
+    }
+    for (uint64_t key : sampler.SampleKeys()) {
+      if (key == 0) ++heavy;
+      if (key == 1) ++light;
+    }
+  }
+  EXPECT_GT(heavy, 5 * light);
+}
+
+TEST(WeightedReservoir, MatchesUniformWhenWeightsEqual) {
+  // With equal weights the inclusion frequencies must be uniform.
+  const size_t k = 8;
+  const uint64_t n = 100;
+  std::vector<int64_t> counts(n, 0);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler sampler(k, 7000 + static_cast<uint64_t>(t));
+    for (uint64_t i = 0; i < n; ++i) sampler.Add(i, 2.5);
+    for (uint64_t key : sampler.SampleKeys()) ++counts[key];
+  }
+  EXPECT_LT(ChiSquareUniform(counts),
+            ChiSquareCritical999(static_cast<int>(n) - 1));
+}
+
+}  // namespace
+}  // namespace ats

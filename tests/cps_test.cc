@@ -1,0 +1,138 @@
+// Tests for ats/core/cps.h: exact Conditional Poisson Sampling
+// (Section 2.2's reference fixed-size design).
+#include "ats/core/cps.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+TEST(Cps, DrawsExactlyKDistinctItems) {
+  std::vector<double> p = {0.2, 0.5, 0.7, 0.3, 0.6, 0.4};
+  ConditionalPoissonSampler sampler(p, 3);
+  Xoshiro256 rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const auto sample = sampler.Draw(rng);
+    ASSERT_EQ(sample.size(), 3u);
+    for (size_t i = 1; i < sample.size(); ++i) {
+      ASSERT_LT(sample[i - 1], sample[i]);  // ascending, distinct
+    }
+  }
+}
+
+TEST(Cps, InclusionProbabilitiesSumToK) {
+  std::vector<double> p = {0.1, 0.9, 0.4, 0.6, 0.5, 0.3, 0.8};
+  for (size_t k : {1u, 3u, 5u}) {
+    ConditionalPoissonSampler sampler(p, k);
+    const auto& pi = sampler.InclusionProbabilities();
+    double total = 0.0;
+    for (double x : pi) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LT(x, 1.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, double(k), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Cps, InclusionProbabilitiesMatchBruteForceEnumeration) {
+  // n = 5, k = 2: enumerate all 10 subsets exactly.
+  const std::vector<double> p = {0.3, 0.6, 0.2, 0.8, 0.5};
+  ConditionalPoissonSampler sampler(p, 2);
+  std::vector<double> brute(5, 0.0);
+  double total = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    if (__builtin_popcount(mask) != 2) continue;
+    double prob = 1.0;
+    for (int i = 0; i < 5; ++i) {
+      prob *= (mask >> i) & 1 ? p[i] : 1.0 - p[i];
+    }
+    total += prob;
+    for (int i = 0; i < 5; ++i) {
+      if ((mask >> i) & 1) brute[i] += prob;
+    }
+  }
+  const auto& pi = sampler.InclusionProbabilities();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(pi[i], brute[i] / total, 1e-12) << "item " << i;
+  }
+}
+
+TEST(Cps, EmpiricalInclusionMatchesExact) {
+  const std::vector<double> p = {0.15, 0.75, 0.4, 0.55, 0.3, 0.65, 0.5,
+                                 0.25};
+  ConditionalPoissonSampler sampler(p, 4);
+  const auto& pi = sampler.InclusionProbabilities();
+  std::vector<int64_t> counts(p.size(), 0);
+  Xoshiro256 rng(2);
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t i : sampler.Draw(rng)) ++counts[i];
+  }
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double freq = double(counts[i]) / trials;
+    const double se = std::sqrt(pi[i] * (1.0 - pi[i]) / trials);
+    EXPECT_NEAR(freq, pi[i], 5.0 * se) << "item " << i;
+  }
+}
+
+TEST(Cps, EqualProbabilitiesAreUniform) {
+  std::vector<double> p(6, 0.5);
+  ConditionalPoissonSampler sampler(p, 3);
+  const auto& pi = sampler.InclusionProbabilities();
+  for (double x : pi) EXPECT_NEAR(x, 0.5, 1e-12);
+}
+
+TEST(Cps, WorkingProbabilitiesHitPpsTargets) {
+  // PPS targets pi_i = k w_i / W.
+  Xoshiro256 rng(3);
+  const size_t n = 20, k = 5;
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (double& x : w) {
+    x = 0.5 + rng.NextDouble();
+    total += x;
+  }
+  std::vector<double> target(n);
+  for (size_t i = 0; i < n; ++i) target[i] = double(k) * w[i] / total;
+  const auto working = CpsWorkingProbabilities(target, k, 1e-9);
+  ConditionalPoissonSampler sampler(working, k);
+  const auto& pi = sampler.InclusionProbabilities();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(pi[i], target[i], 1e-7) << "item " << i;
+  }
+}
+
+TEST(Cps, HtWithExactInclusionIsUnbiased) {
+  // The point of computing exact CPS inclusion probabilities: plain HT
+  // over CPS samples is unbiased.
+  Xoshiro256 rng(4);
+  const size_t n = 15, k = 5;
+  std::vector<double> values(n), p(n);
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 + rng.NextDouble();
+    p[i] = 0.2 + 0.6 * rng.NextDouble();
+    truth += values[i];
+  }
+  ConditionalPoissonSampler sampler(p, k);
+  const auto& pi = sampler.InclusionProbabilities();
+  RunningStat est;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    double e = 0.0;
+    for (size_t i : sampler.Draw(rng)) e += values[i] / pi[i];
+    est.Add(e);
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+}  // namespace
+}  // namespace ats

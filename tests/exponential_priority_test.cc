@@ -1,0 +1,131 @@
+// End-to-end estimation with the Exponential priority family: verifies
+// that the estimator stack is correct for non-uniform priority
+// distributions (Sections 2.1, 2.9, 4), not just the Uniform(0,1/w)
+// family the samplers default to.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/estimators/subset_sum.h"
+#include "ats/util/stats.h"
+#include "ats/workload/synthetic.h"
+
+namespace ats {
+namespace {
+
+// Weighted bottom-k sample using Exponential(w) priorities; entries carry
+// the exponential CDF so HT uses pi = 1 - exp(-w T).
+std::vector<SampleEntry> DrawExponentialBottomK(
+    const std::vector<WeightedItem>& population, size_t k, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BottomK<size_t> sketch(k);
+  for (size_t i = 0; i < population.size(); ++i) {
+    const auto dist = PriorityDist::Exponential(population[i].weight);
+    sketch.Offer(dist.Sample(rng), i);
+  }
+  std::vector<SampleEntry> out;
+  for (const auto& e : sketch.entries()) {
+    SampleEntry s;
+    s.key = population[e.payload].key;
+    s.value = population[e.payload].value;
+    s.priority = e.priority;
+    s.threshold = sketch.Threshold();
+    s.dist = PriorityDist::Exponential(population[e.payload].weight);
+    out.push_back(s);
+  }
+  return out;
+}
+
+struct ExpParam {
+  size_t k;
+  uint64_t seed;
+};
+
+class ExponentialPrioritySweep
+    : public ::testing::TestWithParam<ExpParam> {};
+
+TEST_P(ExponentialPrioritySweep, HtTotalIsUnbiased) {
+  const auto [k, seed] = GetParam();
+  const auto population = MakeWeightedPopulation(400, 13, true);
+  double truth = 0.0;
+  for (const auto& it : population) truth += it.value;
+  RunningStat est;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    est.Add(HtTotal(DrawExponentialBottomK(
+        population, k, seed + static_cast<uint64_t>(t) * 97)));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se) << "k=" << k;
+}
+
+TEST_P(ExponentialPrioritySweep, SubsetSumWithCiCovers) {
+  const auto [k, seed] = GetParam();
+  const auto population = MakeWeightedPopulation(400, 13, true);
+  double subset_truth = 0.0;
+  for (const auto& it : population) {
+    if (it.key % 2 == 0) subset_truth += it.value;
+  }
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = DrawExponentialBottomK(
+        population, k, 10 * seed + static_cast<uint64_t>(t));
+    const auto est = EstimateSubsetSum(
+        sample, [](uint64_t key) { return key % 2 == 0; });
+    if (std::abs(est.estimate - subset_truth) <= est.ci_half_width) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, static_cast<int>(0.85 * trials)) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExponentialPrioritySweep,
+                         ::testing::Values(ExpParam{25, 1}, ExpParam{50, 2},
+                                           ExpParam{100, 3}));
+
+TEST(ExponentialPriority, MatchesWeightedReservoirSelection) {
+  // A-Res weighted reservoir IS bottom-k over Exponential(w) priorities:
+  // selection frequencies of a heavy item should agree.
+  const size_t n = 200, k = 10;
+  std::vector<double> weights(n, 1.0);
+  weights[0] = 15.0;
+  int hits = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    Xoshiro256 rng(100 + static_cast<uint64_t>(t));
+    BottomK<size_t> sketch(k);
+    for (size_t i = 0; i < n; ++i) {
+      sketch.Offer(rng.NextExponential() / weights[i], i);
+    }
+    for (const auto& e : sketch.entries()) hits += e.payload == 0;
+  }
+  // Heavy item's inclusion probability is high but not 1; crude bounds.
+  const double freq = double(hits) / trials;
+  EXPECT_GT(freq, 0.45);
+  EXPECT_LT(freq, 0.95);
+}
+
+TEST(ExponentialPriority, SaltedFamiliesStayCoordinated) {
+  // FromHash coordination also works for the exponential family: the same
+  // key maps to the same priority across sketches.
+  const auto d = PriorityDist::Exponential(2.0);
+  BottomK<uint64_t> a(20), b(20);
+  for (uint64_t key = 0; key < 500; ++key) {
+    const double p = d.FromHash(HashKey(key, 42));
+    a.Offer(p, key);
+    b.Offer(p, key);
+  }
+  const auto ea = a.SortedEntries();
+  const auto eb = b.SortedEntries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].payload, eb[i].payload);
+  }
+}
+
+}  // namespace
+}  // namespace ats

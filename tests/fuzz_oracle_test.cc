@@ -1,0 +1,162 @@
+// Randomized oracle tests: long random operation sequences checked
+// against brute-force reference implementations and structural
+// invariants. These sweep parts of the state space the targeted unit
+// tests do not reach (interleaved merges, saturation boundaries,
+// adversarial weight sequences).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/baselines/varopt.h"
+#include "ats/core/bottom_k.h"
+#include "ats/samplers/multi_stratified.h"
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, BottomKMatchesBruteForceUnderRandomMerges) {
+  Xoshiro256 rng(GetParam());
+  const size_t k = 1 + rng.NextBelow(12);
+  // Random number of shards, random offers, then a random merge order.
+  const size_t shards = 2 + rng.NextBelow(4);
+  std::vector<BottomK<uint64_t>> sketches(shards, BottomK<uint64_t>(k));
+  std::vector<double> all;
+  uint64_t id = 0;
+  for (int op = 0; op < 600; ++op) {
+    const double p = rng.NextDoubleOpenZero();
+    all.push_back(p);
+    sketches[rng.NextBelow(shards)].Offer(p, id++);
+  }
+  // Merge in random order.
+  while (sketches.size() > 1) {
+    const size_t a = rng.NextBelow(sketches.size());
+    size_t b = rng.NextBelow(sketches.size());
+    while (b == a) b = rng.NextBelow(sketches.size());
+    sketches[std::min(a, b)].Merge(sketches[std::max(a, b)]);
+    sketches.erase(sketches.begin() +
+                   static_cast<std::ptrdiff_t>(std::max(a, b)));
+  }
+  std::sort(all.begin(), all.end());
+  const auto& merged = sketches[0];
+  ASSERT_EQ(merged.size(), std::min(k, all.size()));
+  const auto entries = merged.SortedEntries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(entries[i].priority, all[i]);
+  }
+  if (all.size() > k) {
+    EXPECT_DOUBLE_EQ(merged.Threshold(), all[k]);
+  }
+}
+
+TEST_P(FuzzSweep, KmvMatchesExactDistinctOracle) {
+  Xoshiro256 rng(GetParam() * 31 + 5);
+  const size_t k = 8 + rng.NextBelow(64);
+  KmvSketch sketch(k, 1.0, GetParam());
+  std::set<uint64_t> oracle;
+  // Duplicates, bursts, and re-visits.
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.NextBelow(700);
+    sketch.AddKey(key);
+    oracle.insert(key);
+    // Invariants at every step:
+    ASSERT_LE(sketch.size(), k);
+    ASSERT_LE(sketch.size(), oracle.size());
+  }
+  // Unsaturated => exact; saturated => within 6 standard errors.
+  if (!sketch.saturated()) {
+    EXPECT_DOUBLE_EQ(sketch.Estimate(), double(oracle.size()));
+  } else {
+    const double n = double(oracle.size());
+    EXPECT_NEAR(sketch.Estimate(), n, 6.0 * n / std::sqrt(double(k)));
+  }
+}
+
+TEST_P(FuzzSweep, LcsMergeOrderInvariance) {
+  // LCS merges must commute and associate: any merge order over the same
+  // sketches yields the same estimate.
+  const uint64_t salt = GetParam() + 1;
+  Xoshiro256 rng(GetParam() * 17 + 3);
+  std::vector<LcsSketch> parts;
+  for (int s = 0; s < 5; ++s) {
+    KmvSketch sketch(16 + rng.NextBelow(32), 1.0, salt);
+    const int n = 100 + static_cast<int>(rng.NextBelow(2000));
+    for (int i = 0; i < n; ++i) {
+      sketch.AddKey(rng.NextBelow(5000));
+    }
+    parts.push_back(LcsSketch::FromKmv(sketch));
+  }
+  LcsSketch forward;
+  for (const auto& p : parts) forward.Merge(p);
+  LcsSketch backward;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    backward.Merge(*it);
+  }
+  // Pairwise tree order.
+  LcsSketch left = parts[0], right = parts[3];
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  right.Merge(parts[4]);
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(forward.Estimate(), backward.Estimate());
+  EXPECT_DOUBLE_EQ(forward.Estimate(), left.Estimate());
+  EXPECT_EQ(forward.size(), backward.size());
+}
+
+TEST_P(FuzzSweep, VarOptInvariantsUnderAdversarialWeights) {
+  Xoshiro256 rng(GetParam() * 101 + 7);
+  const size_t k = 5 + rng.NextBelow(20);
+  VarOptSampler sampler(k, GetParam() + 9);
+  double total = 0.0;
+  double prev_tau = 0.0;
+  for (int op = 0; op < 1500; ++op) {
+    // Adversarial mix: occasional huge weights, runs of tiny ones.
+    double w;
+    const uint64_t kind = rng.NextBelow(10);
+    if (kind == 0) {
+      w = 1e6 * rng.NextDoubleOpenZero();
+    } else if (kind < 4) {
+      w = 1e-6 * rng.NextDoubleOpenZero();
+    } else {
+      w = rng.NextDoubleOpenZero();
+    }
+    total += w;
+    sampler.Add(static_cast<uint64_t>(op), w);
+    ASSERT_LE(sampler.size(), k);
+    ASSERT_GE(sampler.Tau(), prev_tau - 1e-12);  // tau monotone
+    prev_tau = sampler.Tau();
+    ASSERT_NEAR(sampler.EstimateTotal(), total, 1e-6 * total);
+  }
+}
+
+TEST_P(FuzzSweep, MultiStratifiedInvariantsUnderRandomStreams) {
+  Xoshiro256 rng(GetParam() * 13 + 1);
+  const size_t dims = 1 + rng.NextBelow(3);
+  const size_t k = 2 + rng.NextBelow(6);
+  MultiStratifiedSampler sampler(dims, k, GetParam() + 2);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    MultiStratifiedSampler::StrataKeys strata(dims);
+    for (auto& s : strata) s = rng.NextBelow(6);
+    sampler.Add(i, strata, 1.0);
+    if (i % 97 == 96) sampler.ShrinkToBudget(3 * k);
+  }
+  // Invariants: every sampled entry has priority below its composite
+  // threshold and positive inclusion probability.
+  for (const auto& e : sampler.Sample()) {
+    ASSERT_LT(e.priority, e.threshold);
+    ASSERT_GT(e.InclusionProbability(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ats

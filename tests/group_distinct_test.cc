@@ -1,0 +1,134 @@
+// Tests for ats/sketch/group_distinct.h (Section 3.6).
+#include "ats/sketch/group_distinct.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/random.h"
+#include "ats/util/stats.h"
+#include "ats/workload/zipf.h"
+
+namespace ats {
+namespace {
+
+TEST(GroupDistinct, ExactForFewSmallGroups) {
+  GroupDistinctSketch sketch(4, 32);
+  for (uint64_t g = 0; g < 3; ++g) {
+    for (uint64_t i = 0; i < 20; ++i) sketch.Add(g, i);
+  }
+  for (uint64_t g = 0; g < 3; ++g) {
+    EXPECT_DOUBLE_EQ(sketch.Estimate(g), 20.0) << "group " << g;
+    EXPECT_TRUE(sketch.IsPromoted(g));
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(777), 0.0);
+}
+
+TEST(GroupDistinct, PromotesLargeGroupsFromPool) {
+  // m = 2 promoted slots, but a third group grows huge: it must displace
+  // one of the early (small) promoted groups.
+  GroupDistinctSketch sketch(2, 16);
+  // Bootstrap: groups 0 and 1 promoted with few items.
+  for (uint64_t i = 0; i < 5; ++i) sketch.Add(0, i);
+  for (uint64_t i = 0; i < 5; ++i) sketch.Add(1, i);
+  // Group 2 arrives with many distinct items.
+  for (uint64_t i = 0; i < 5000; ++i) sketch.Add(2, i);
+  EXPECT_TRUE(sketch.IsPromoted(2));
+  EXPECT_NEAR(sketch.Estimate(2), 5000.0, 2500.0);
+}
+
+TEST(GroupDistinct, PoolThresholdMonotoneNonIncreasing) {
+  GroupDistinctSketch sketch(4, 16);
+  ZipfGenerator groups(100, 1.2, 1);
+  Xoshiro256 rng(2);
+  double prev = 1.0;
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Add(groups.Next(), rng.Next());
+    ASSERT_LE(sketch.PoolThreshold(), prev);
+    prev = sketch.PoolThreshold();
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(GroupDistinct, MemoryFarBelowPerGroupSketches) {
+  // 2000 groups with Zipf-distributed sizes; a sketch per group would
+  // store ~2000*k items if saturated, and at least one per group. The
+  // grouped structure should store close to m*k + small pool.
+  const size_t m = 8, k = 32;
+  GroupDistinctSketch sketch(m, k);
+  ZipfGenerator groups(2000, 1.1, 3);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.Add(groups.Next(), rng.Next());  // values mostly distinct
+  }
+  EXPECT_LT(sketch.StoredItems(), 6 * m * k);
+  // Most tiny groups hold no samples at all.
+  EXPECT_LT(sketch.GroupsWithSamples().size(), 600u);
+}
+
+TEST(GroupDistinct, LargeGroupEstimatesAreAccurate) {
+  const size_t m = 4, k = 64;
+  std::map<uint64_t, std::vector<uint64_t>> data;
+  Xoshiro256 rng(5);
+  // 4 big groups and 50 small ones.
+  std::vector<size_t> sizes = {20000, 10000, 5000, 2500};
+  for (uint64_t g = 0; g < 54; ++g) {
+    const size_t n = g < 4 ? sizes[g] : 20;
+    auto& keys = data[g];
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back((g << 40) + i);
+    }
+  }
+  GroupDistinctSketch sketch(m, k);
+  // Interleave arrivals.
+  bool any = true;
+  size_t round = 0;
+  while (any) {
+    any = false;
+    for (auto& [g, keys] : data) {
+      for (size_t rep = 0; rep < 50; ++rep) {
+        const size_t idx = round * 50 + rep;
+        if (idx < keys.size()) {
+          sketch.Add(g, keys[idx]);
+          any = true;
+        }
+      }
+    }
+    ++round;
+  }
+  (void)rng;
+  for (uint64_t g = 0; g < 4; ++g) {
+    const double truth = double(data[g].size());
+    EXPECT_NEAR(sketch.Estimate(g), truth, 4.0 * truth / std::sqrt(double(k)))
+        << "group " << g;
+  }
+}
+
+TEST(GroupDistinct, PoolGroupEstimatesArePlausible) {
+  const size_t m = 2, k = 32;
+  GroupDistinctSketch sketch(m, k);
+  // Two huge promoted groups drive the pool threshold down.
+  for (uint64_t i = 0; i < 30000; ++i) sketch.Add(0, i);
+  for (uint64_t i = 0; i < 30000; ++i) sketch.Add(1, i);
+  // A mid-size pool group.
+  for (uint64_t i = 0; i < 3000; ++i) sketch.Add(7, i);
+  EXPECT_FALSE(sketch.IsPromoted(7));
+  // Pool estimate has resolution ~1/T_max; just check the right order of
+  // magnitude (within a factor of ~4 either way is fine at this k).
+  const double est = sketch.Estimate(7);
+  EXPECT_GE(est, 0.0);
+  EXPECT_LT(est, 14000.0);
+}
+
+TEST(GroupDistinct, DuplicateKeysDoNotInflate) {
+  GroupDistinctSketch sketch(2, 16);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t i = 0; i < 10; ++i) sketch.Add(0, i);
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(0), 10.0);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,189 @@
+// Integration tests: cross-module flows exercising the paper's central
+// promise -- one set of fixed-threshold estimators serves every adaptive
+// sampler in the library (Section 7).
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/baselines/space_saving.h"
+#include "ats/core/bottom_k.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/estimators/subset_sum.h"
+#include "ats/samplers/budget_sampler.h"
+#include "ats/samplers/multi_stratified.h"
+#include "ats/samplers/sliding_window.h"
+#include "ats/samplers/topk_sampler.h"
+#include "ats/samplers/variance_sized.h"
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/util/stats.h"
+#include "ats/workload/arrivals.h"
+#include "ats/workload/synthetic.h"
+#include "ats/workload/zipf.h"
+
+namespace ats {
+namespace {
+
+// The same population, sampled by four different adaptive samplers; the
+// SAME HtTotal estimator must be unbiased on all of them.
+TEST(Integration, OneEstimatorManySamplers) {
+  const auto population = MakeWeightedPopulation(500, 3, true);
+  double truth = 0.0;
+  for (const auto& it : population) truth += it.weight;
+
+  RunningStat priority_est, budget_est, strat_est, varsized_est;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(t) * 17;
+
+    PrioritySampler ps(40, seed);
+    for (const auto& it : population) ps.Add(it.key, it.weight);
+    priority_est.Add(HtTotal(ps.Sample()));
+
+    BudgetSampler bs(60.0, seed + 1);
+    for (const auto& it : population) {
+      bs.Add(it.key, 1.0, it.weight, it.weight);
+    }
+    budget_est.Add(HtTotal(bs.Sample()));
+
+    MultiStratifiedSampler ms(2, 10, seed + 2);
+    for (const auto& it : population) {
+      ms.Add(it.key, {it.key % 5, it.key % 3}, it.weight);
+    }
+    strat_est.Add(HtTotal(ms.Sample()));
+
+    Xoshiro256 rng(seed + 3);
+    std::vector<VarianceSizedItem> items;
+    for (const auto& it : population) {
+      VarianceSizedItem v;
+      v.key = it.key;
+      v.value = it.weight;
+      v.weight = it.weight;
+      v.priority = rng.NextDoubleOpenZero() / it.weight;
+      items.push_back(v);
+    }
+    varsized_est.Add(
+        HtTotal(SolveVarianceSizedThreshold(items, 16.0).sample));
+  }
+  auto expect_unbiased = [&](const RunningStat& s, const char* name) {
+    const double se = s.StdDev() / std::sqrt(double(trials));
+    EXPECT_NEAR(s.mean(), truth, 4.0 * se) << name;
+  };
+  expect_unbiased(priority_est, "priority sampling");
+  expect_unbiased(budget_est, "budget sampler");
+  expect_unbiased(strat_est, "multi-stratified");
+  expect_unbiased(varsized_est, "variance-sized");
+}
+
+// Sliding-window sample -> HT count of the window.
+TEST(Integration, WindowCountEstimation) {
+  RunningStat est;
+  const double rate = 800.0, window = 1.0, horizon = 4.0;
+  // Fixed arrival schedule; only sampler randomness varies.
+  ArrivalProcess schedule(RateProfile::Constant(rate), rate, 99);
+  const auto arrivals = schedule.Until(horizon);
+  double truth = 0.0;
+  for (const auto& a : arrivals) truth += a.time > horizon - window;
+
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    SlidingWindowSampler sampler(60, window, 10 + static_cast<uint64_t>(t));
+    for (const auto& a : arrivals) sampler.Arrive(a.time, a.id);
+    est.Add(HtCount(sampler.ImprovedSample(horizon)));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+// Distributed distinct counting: per-node KMV sketches, LCS-merged,
+// versus the union ground truth.
+TEST(Integration, DistributedDistinctPipeline) {
+  const int nodes = 8;
+  RunningStat est;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t salt = static_cast<uint64_t>(t) + 1;
+    LcsSketch merged;
+    std::set<uint64_t> truth;
+    for (int node = 0; node < nodes; ++node) {
+      KmvSketch sketch(64, 1.0, salt);
+      Xoshiro256 rng(static_cast<uint64_t>(node) * 7 + 3);
+      // Nodes see overlapping key ranges.
+      for (int i = 0; i < 4000; ++i) {
+        const uint64_t key = rng.NextBelow(12000);
+        sketch.AddKey(key);
+        truth.insert(key);
+      }
+      merged.Merge(LcsSketch::FromKmv(sketch));
+    }
+    est.Add(merged.Estimate() / double(truth.size()));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), 1.0, 4.0 * se);
+}
+
+// The adaptive top-k sampler and Unbiased Space-Saving answer the same
+// disaggregated subset-sum query, both unbiased, on the same stream.
+TEST(Integration, TopKVsUnbiasedSpaceSaving) {
+  const int n = 30000;
+  int64_t truth = 0;
+  {
+    ZipfGenerator zipf(400, 1.1, 5);
+    for (int i = 0; i < n; ++i) truth += (zipf.Next() % 5 == 0);
+  }
+  RunningStat topk_est, uss_est;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    ZipfGenerator zipf(400, 1.1, 5);
+    TopKSampler topk(10, 100 + static_cast<uint64_t>(t));
+    UnbiasedSpaceSaving uss(48, 200 + static_cast<uint64_t>(t));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t x = zipf.Next();
+      topk.Add(x);
+      uss.Add(x);
+    }
+    const auto pred = [](uint64_t k) { return k % 5 == 0; };
+    topk_est.Add(topk.EstimatedSubsetCount(pred));
+    uss_est.Add(uss.EstimatedSubsetCount(pred));
+  }
+  EXPECT_NEAR(topk_est.mean(), double(truth),
+              4.0 * topk_est.StdDev() / std::sqrt(double(trials)));
+  EXPECT_NEAR(uss_est.mean(), double(truth),
+              4.0 * uss_est.StdDev() / std::sqrt(double(trials)));
+}
+
+// Merging bottom-k sketches from shards and estimating the global total
+// matches a single-machine sketch (stream decomposability).
+TEST(Integration, ShardedPrioritySampling) {
+  const auto population = MakeWeightedPopulation(3000, 11, true);
+  double truth = 0.0;
+  for (const auto& it : population) truth += it.weight;
+
+  RunningStat est;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    Xoshiro256 rng(400 + static_cast<uint64_t>(t));
+    std::vector<BottomK<std::pair<uint64_t, double>>> shards(
+        4, BottomK<std::pair<uint64_t, double>>(50));
+    for (const auto& it : population) {
+      const double priority = rng.NextDoubleOpenZero() / it.weight;
+      shards[it.key % 4].Offer(priority, {it.key, it.weight});
+    }
+    BottomK<std::pair<uint64_t, double>> merged(50);
+    for (const auto& shard : shards) merged.Merge(shard);
+    std::vector<SampleEntry> sample;
+    for (const auto& e : merged.entries()) {
+      sample.push_back(MakeWeightedEntry(e.payload.first, e.payload.second,
+                                         e.priority, merged.Threshold()));
+    }
+    est.Add(HtTotal(sample));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,122 @@
+// Tests for ats/sketch/kmv.h: distinct-count accuracy/unbiasedness,
+// dedup, merge == single-stream, and the Section 3.4 weighted variant.
+#include "ats/sketch/kmv.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/random.h"
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+TEST(Kmv, ExactWhileUnsaturated) {
+  KmvSketch sketch(100);
+  for (uint64_t i = 0; i < 50; ++i) sketch.AddKey(i);
+  EXPECT_EQ(sketch.size(), 50u);
+  EXPECT_FALSE(sketch.saturated());
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 50.0);
+}
+
+TEST(Kmv, DuplicatesAreIgnored) {
+  KmvSketch sketch(64);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t i = 0; i < 30; ++i) sketch.AddKey(i);
+  }
+  EXPECT_EQ(sketch.size(), 30u);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 30.0);
+}
+
+struct KmvParam {
+  size_t k;
+  size_t n;
+};
+
+class KmvAccuracyTest : public ::testing::TestWithParam<KmvParam> {};
+
+TEST_P(KmvAccuracyTest, EstimateWithinRelativeErrorBound) {
+  const auto [k, n] = GetParam();
+  RunningStat rel_err;
+  for (uint64_t trial = 0; trial < 30; ++trial) {
+    KmvSketch sketch(k, 1.0, trial);
+    const uint64_t base = trial * (1ULL << 32);
+    for (uint64_t i = 0; i < n; ++i) sketch.AddKey(base + i);
+    rel_err.Add((sketch.Estimate() - double(n)) / double(n));
+  }
+  // Mean relative error near 0; SD near 1/sqrt(k).
+  EXPECT_LT(std::abs(rel_err.mean()), 3.0 / std::sqrt(double(k)));
+  EXPECT_LT(rel_err.StdDev(), 2.5 / std::sqrt(double(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KmvAccuracyTest,
+                         ::testing::Values(KmvParam{64, 10000},
+                                           KmvParam{256, 10000},
+                                           KmvParam{256, 100000},
+                                           KmvParam{1024, 50000}));
+
+TEST(Kmv, EstimateIsUnbiasedOverSalts) {
+  const size_t n = 5000, k = 128;
+  RunningStat est;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    KmvSketch sketch(k, 1.0, static_cast<uint64_t>(t) + 1);
+    for (uint64_t i = 0; i < n; ++i) sketch.AddKey(i);
+    est.Add(sketch.Estimate());
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), double(n), 4.0 * se);
+}
+
+TEST(Kmv, MergeEqualsSingleStream) {
+  const size_t k = 64;
+  KmvSketch whole(k), a(k), b(k);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    whole.AddKey(i);
+    // Overlapping halves: a gets [0, 3000), b gets [2000, 5000).
+    if (i < 3000) a.AddKey(i);
+    if (i >= 2000) b.AddKey(i);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Threshold(), whole.Threshold());
+  EXPECT_EQ(a.size(), whole.size());
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+TEST(Kmv, MergeIsCommutative) {
+  const size_t k = 32;
+  KmvSketch ab(k), ba(k), a(k), b(k);
+  for (uint64_t i = 0; i < 2000; ++i) a.AddKey(i);
+  for (uint64_t i = 1500; i < 4000; ++i) b.AddKey(i);
+  ab = a;
+  ab.Merge(b);
+  ba = b;
+  ba.Merge(a);
+  EXPECT_DOUBLE_EQ(ab.Estimate(), ba.Estimate());
+  EXPECT_DOUBLE_EQ(ab.Threshold(), ba.Threshold());
+}
+
+TEST(Kmv, InitialThresholdPreFilters) {
+  KmvSketch sketch(1000, 0.01, 3);
+  for (uint64_t i = 0; i < 20000; ++i) sketch.AddKey(i);
+  // Roughly 1% of keys hash below 0.01.
+  EXPECT_GT(sketch.size(), 120u);
+  EXPECT_LT(sketch.size(), 320u);
+  // Estimate still unbiased-ish around 20000.
+  EXPECT_NEAR(sketch.Estimate(), 20000.0, 6000.0);
+}
+
+TEST(Kmv, ThresholdMonotoneDecreasing) {
+  KmvSketch sketch(16);
+  double prev = 1.0;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    sketch.AddKey(i);
+    ASSERT_LE(sketch.Threshold(), prev);
+    prev = sketch.Threshold();
+  }
+}
+
+}  // namespace
+}  // namespace ats

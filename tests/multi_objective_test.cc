@@ -1,0 +1,99 @@
+// Tests for ats/samplers/multi_objective.h (Section 3.8).
+#include "ats/samplers/multi_objective.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+#include "ats/workload/synthetic.h"
+
+namespace ats {
+namespace {
+
+TEST(MultiObjective, CombinedSizeBoundedByCk) {
+  const size_t k = 30, c = 3;
+  MultiObjectiveSampler sampler(c, k, 1);
+  const auto weights = MakeObjectiveWeights(1000, c, 0.0, 2);
+  for (size_t i = 0; i < 1000; ++i) {
+    sampler.Add(i, {weights[0][i], weights[1][i], weights[2][i]}, 1.0);
+  }
+  EXPECT_LE(sampler.CombinedSize(), c * k);
+  EXPECT_GE(sampler.CombinedSize(), k);
+}
+
+TEST(MultiObjective, IdenticalWeightsCollapseToK) {
+  // Scalar-multiple weights => identical priority ORDER for every
+  // objective => the sketches hold the same items: size == k exactly.
+  const size_t k = 25;
+  MultiObjectiveSampler sampler(2, k, 3);
+  Xoshiro256 rng(4);
+  for (uint64_t i = 0; i < 500; ++i) {
+    const double w = std::exp(rng.NextGaussian());
+    sampler.Add(i, {w, 3.0 * w}, 1.0);
+  }
+  EXPECT_EQ(sampler.CombinedSize(), k);
+}
+
+TEST(MultiObjective, SizeShrinksWithWeightCorrelation) {
+  const size_t k = 50, n = 2000;
+  auto combined_size = [&](double mix) {
+    MultiObjectiveSampler sampler(2, k, 7);
+    const auto weights = MakeObjectiveWeights(n, 2, mix, 8);
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Add(i, {weights[0][i], weights[1][i]}, 1.0);
+    }
+    return sampler.CombinedSize();
+  };
+  const size_t independent = combined_size(0.0);
+  const size_t correlated = combined_size(0.95);
+  // The shared per-item uniform already coordinates the sketches, so even
+  // independent weights overlap substantially (~1.4k here); correlation
+  // collapses the union toward exactly k.
+  EXPECT_GT(independent, correlated);
+  EXPECT_GT(independent, static_cast<size_t>(1.25 * double(k)));
+  EXPECT_LE(correlated, static_cast<size_t>(1.05 * double(k)));
+}
+
+TEST(MultiObjective, PerObjectiveEstimatesAreUnbiased) {
+  const size_t n = 400;
+  const auto weights = MakeObjectiveWeights(n, 2, 0.5, 11);
+  std::vector<double> values(n);
+  Xoshiro256 rng(12);
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 + rng.NextDouble();
+    truth += values[i];
+  }
+  RunningStat est0, est1;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    MultiObjectiveSampler sampler(2, 40, 100 + static_cast<uint64_t>(t));
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Add(i, {weights[0][i], weights[1][i]}, values[i]);
+    }
+    est0.Add(HtTotal(sampler.Sample(0)));
+    est1.Add(HtTotal(sampler.Sample(1)));
+  }
+  EXPECT_NEAR(est0.mean(), truth,
+              4.0 * est0.StdDev() / std::sqrt(double(trials)));
+  EXPECT_NEAR(est1.mean(), truth,
+              4.0 * est1.StdDev() / std::sqrt(double(trials)));
+}
+
+TEST(MultiObjective, ThresholdsDifferPerObjective) {
+  MultiObjectiveSampler sampler(2, 20, 21);
+  Xoshiro256 rng(22);
+  for (uint64_t i = 0; i < 500; ++i) {
+    sampler.Add(i, {std::exp(rng.NextGaussian()),
+                    std::exp(rng.NextGaussian())},
+                1.0);
+  }
+  EXPECT_NE(sampler.Threshold(0), sampler.Threshold(1));
+  EXPECT_LT(sampler.Threshold(0), kInfiniteThreshold);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,157 @@
+// Tests for ats/samplers/multi_stratified.h (Section 3.7).
+#include "ats/samplers/multi_stratified.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+// A small synthetic "user base": country in [0, nc), age bucket in [0, na).
+struct User {
+  uint64_t id;
+  uint64_t country;
+  uint64_t age;
+  double value;
+};
+
+std::vector<User> MakeUsers(size_t n, size_t nc, size_t na, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<User> users(n);
+  for (size_t i = 0; i < n; ++i) {
+    users[i].id = i;
+    // Skewed country popularity; uniform ages.
+    users[i].country = rng.NextBelow(nc) * rng.NextBelow(2);
+    users[i].age = rng.NextBelow(na);
+    users[i].value = 1.0 + rng.NextDouble();
+  }
+  return users;
+}
+
+TEST(MultiStratified, EveryStratumKeepsUpToK) {
+  const size_t k = 5;
+  MultiStratifiedSampler sampler(2, k, 1);
+  const auto users = MakeUsers(3000, 8, 6, 2);
+  for (const auto& u : users) sampler.Add(u.id, {u.country, u.age}, u.value);
+  for (uint64_t c = 0; c < 8; ++c) {
+    EXPECT_LE(sampler.StratumSize(0, c), k) << "country " << c;
+  }
+  for (uint64_t a = 0; a < 6; ++a) {
+    EXPECT_LE(sampler.StratumSize(1, a), k) << "age " << a;
+    // Ages are uniform over 3000 users: every age stratum saturates.
+    EXPECT_EQ(sampler.StratumSize(1, a), k);
+  }
+}
+
+TEST(MultiStratified, SizeWithinTheoreticalRange) {
+  // Section 3.7: m in [k * max(nc, na), k * (nc + na)].
+  const size_t k = 4, nc = 10, na = 5;
+  MultiStratifiedSampler sampler(2, k, 3);
+  const auto users = MakeUsers(5000, nc, na, 4);
+  for (const auto& u : users) sampler.Add(u.id, {u.country, u.age}, u.value);
+  EXPECT_GE(sampler.size(), k * std::max(nc, na));
+  EXPECT_LE(sampler.size(), k * (nc + na));
+}
+
+TEST(MultiStratified, ShrinkToBudgetHitsExactSize) {
+  MultiStratifiedSampler sampler(2, 10, 5);
+  const auto users = MakeUsers(4000, 12, 8, 6);
+  for (const auto& u : users) sampler.Add(u.id, {u.country, u.age}, u.value);
+  ASSERT_GT(sampler.size(), 60u);
+  sampler.ShrinkToBudget(60);
+  EXPECT_EQ(sampler.size(), 60u);
+}
+
+TEST(MultiStratified, BudgetPersistsThroughMoreArrivals) {
+  MultiStratifiedSampler sampler(2, 10, 7);
+  const auto users = MakeUsers(6000, 12, 8, 8);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const auto& u = users[i];
+    sampler.Add(u.id, {u.country, u.age}, u.value);
+    if (i % 100 == 99) sampler.ShrinkToBudget(50);
+    ASSERT_LE(sampler.size(), 160u);
+  }
+  sampler.ShrinkToBudget(50);
+  EXPECT_LE(sampler.size(), 50u);
+}
+
+struct HtParam {
+  size_t k;
+  uint64_t seed;
+};
+
+class MultiStratifiedHtTest : public ::testing::TestWithParam<HtParam> {};
+
+TEST_P(MultiStratifiedHtTest, HtTotalIsUnbiased) {
+  const auto [k, seed] = GetParam();
+  const auto users = MakeUsers(600, 6, 4, 99);
+  double truth = 0.0;
+  for (const auto& u : users) truth += u.value;
+
+  RunningStat est;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    MultiStratifiedSampler sampler(2, k,
+                                   seed + static_cast<uint64_t>(t) * 131);
+    for (const auto& u : users) {
+      sampler.Add(u.id, {u.country, u.age}, u.value);
+    }
+    est.Add(HtTotal(sampler.Sample()));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiStratifiedHtTest,
+                         ::testing::Values(HtParam{5, 1}, HtParam{10, 2},
+                                           HtParam{25, 3}));
+
+TEST(MultiStratified, PerStratumSubsetSumsAreUnbiased) {
+  // Per-country subset sums via HT over the composite max-threshold.
+  const auto users = MakeUsers(800, 5, 4, 17);
+  std::map<uint64_t, double> truth;
+  for (const auto& u : users) truth[u.country] += u.value;
+
+  std::map<uint64_t, RunningStat> est;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    MultiStratifiedSampler sampler(2, 8, 500 + static_cast<uint64_t>(t));
+    std::map<uint64_t, uint64_t> id_to_country;
+    for (const auto& u : users) {
+      sampler.Add(u.id, {u.country, u.age}, u.value);
+      id_to_country[u.id] = u.country;
+    }
+    const auto sample = sampler.Sample();
+    for (const auto& [country, total] : truth) {
+      est[country].Add(HtSubsetSum(sample, [&](uint64_t key) {
+        return id_to_country.at(key) == country;
+      }));
+    }
+  }
+  for (const auto& [country, stat] : est) {
+    const double se = stat.StdDev() / std::sqrt(double(trials));
+    EXPECT_NEAR(stat.mean(), truth.at(country), 4.0 * se)
+        << "country " << country;
+  }
+}
+
+TEST(MultiStratified, RareStratumIsGuaranteedRepresentation) {
+  // One country with only 3 users out of 5000: all 3 must be retained
+  // (its stratum never saturates).
+  MultiStratifiedSampler sampler(2, 5, 31);
+  Xoshiro256 rng(32);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const uint64_t country = i < 3 ? 999 : rng.NextBelow(4);
+    sampler.Add(i, {country, rng.NextBelow(6)}, 1.0);
+  }
+  EXPECT_EQ(sampler.StratumSize(0, 999), 3u);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,104 @@
+// Tests for ats/core/priority.h: CDF/inverse consistency, sampling
+// distributions, and hash-coordination.
+#include "ats/core/priority.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+TEST(PriorityDist, UniformCdf) {
+  const PriorityDist d = PriorityDist::Uniform();
+  EXPECT_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_EQ(d.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.25), 0.25);
+  EXPECT_EQ(d.Cdf(1.0), 1.0);
+  EXPECT_EQ(d.Cdf(7.0), 1.0);
+}
+
+TEST(PriorityDist, WeightedUniformCdf) {
+  const PriorityDist d = PriorityDist::WeightedUniform(4.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.1), 0.4);
+  EXPECT_EQ(d.Cdf(0.25), 1.0);
+  EXPECT_EQ(d.Cdf(10.0), 1.0);
+}
+
+TEST(PriorityDist, ExponentialCdf) {
+  const PriorityDist d = PriorityDist::Exponential(2.0);
+  EXPECT_NEAR(d.Cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_EQ(d.Cdf(0.0), 0.0);
+}
+
+class PriorityRoundTripTest
+    : public ::testing::TestWithParam<PriorityDist> {};
+
+TEST_P(PriorityRoundTripTest, InverseCdfIsRightInverse) {
+  const PriorityDist d = GetParam();
+  for (double u : {0.0, 0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.Cdf(d.InverseCdf(u)), u, 1e-9) << "u=" << u;
+  }
+}
+
+TEST_P(PriorityRoundTripTest, SampledPrioritiesHaveUniformCdf) {
+  const PriorityDist d = GetParam();
+  Xoshiro256 rng(31);
+  std::vector<double> us;
+  for (int i = 0; i < 20000; ++i) us.push_back(d.Cdf(d.Sample(rng)));
+  EXPECT_GT(KsPValue(KsStatisticUniform(us), us.size()), 1e-4);
+}
+
+TEST_P(PriorityRoundTripTest, FromHashIsDeterministic) {
+  const PriorityDist d = GetParam();
+  EXPECT_EQ(d.FromHash(HashKey(12345)), d.FromHash(HashKey(12345)));
+  EXPECT_NE(d.FromHash(HashKey(12345)), d.FromHash(HashKey(12346)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PriorityRoundTripTest,
+    ::testing::Values(PriorityDist::Uniform(),
+                      PriorityDist::WeightedUniform(0.25),
+                      PriorityDist::WeightedUniform(3.0),
+                      PriorityDist::Exponential(1.0),
+                      PriorityDist::Exponential(5.0)));
+
+TEST(PriorityDist, WeightedSampleNeverExceedsSupport) {
+  const PriorityDist d = PriorityDist::WeightedUniform(2.0);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = d.Sample(rng);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 0.5);
+  }
+}
+
+TEST(PriorityDist, DualityInclusionEquivalence) {
+  // Section 2.9: R = F^{-1}(U) < T  <=>  U < F(T).
+  const PriorityDist d = PriorityDist::Exponential(1.5);
+  Xoshiro256 rng(5);
+  const double t = 0.8;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDoubleOpenZero();
+    EXPECT_EQ(d.InverseCdf(u) < t, u < d.Cdf(t));
+  }
+}
+
+TEST(PriorityDist, HigherWeightMeansSmallerPriorities) {
+  // Stochastic dominance: heavier items should win (smaller priorities).
+  Xoshiro256 rng(9);
+  RunningStat light, heavy;
+  const PriorityDist dl = PriorityDist::WeightedUniform(1.0);
+  const PriorityDist dh = PriorityDist::WeightedUniform(10.0);
+  for (int i = 0; i < 20000; ++i) {
+    light.Add(dl.Sample(rng));
+    heavy.Add(dh.Sample(rng));
+  }
+  EXPECT_GT(light.mean(), 5.0 * heavy.mean());
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,138 @@
+// Tests for ats/core/random.h: generator determinism, distributional
+// sanity of the uniform/exponential/gaussian draws, and hash quality.
+#include "ats/core/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  std::vector<uint64_t> xs, ys;
+  for (int i = 0; i < 16; ++i) {
+    xs.push_back(a.Next());
+    ys.push_back(b.Next());
+  }
+  EXPECT_EQ(xs, ys);
+  EXPECT_NE(xs[0], c.Next());
+}
+
+TEST(SplitMix64, KnownReferenceValues) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Vigna).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.Next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.Next(), 3203168211198807973ULL);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DoublesInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, OpenZeroNeverReturnsZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDoubleOpenZero();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformDoublesPassKs) {
+  Xoshiro256 rng(17);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.NextDouble();
+  const double d = KsStatisticUniform(xs);
+  EXPECT_GT(KsPValue(d, xs.size()), 1e-4);
+}
+
+TEST(Xoshiro256, NextBelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(3);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t x = rng.NextBelow(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  EXPECT_LT(ChiSquareUniform(counts), ChiSquareCritical999(9));
+}
+
+TEST(Xoshiro256, ExponentialMoments) {
+  Xoshiro256 rng(5);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.NextExponential());
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+  EXPECT_NEAR(s.SampleVariance(), 1.0, 0.05);
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(6);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.NextGaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.SampleVariance(), 1.0, 0.03);
+}
+
+TEST(Mix64, Avalanche) {
+  // Flipping one input bit should flip about half the output bits.
+  Xoshiro256 rng(11);
+  RunningStat flips;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint64_t x = rng.Next();
+    const int bit = static_cast<int>(rng.NextBelow(64));
+    const uint64_t d = Mix64(x) ^ Mix64(x ^ (1ULL << bit));
+    flips.Add(static_cast<double>(__builtin_popcountll(d)));
+  }
+  EXPECT_NEAR(flips.mean(), 32.0, 2.0);
+}
+
+TEST(HashBytes, DeterministicAndSaltSensitive) {
+  EXPECT_EQ(HashBytes("hello"), HashBytes("hello"));
+  EXPECT_NE(HashBytes("hello"), HashBytes("hellp"));
+  EXPECT_NE(HashBytes("hello", 1), HashBytes("hello", 2));
+  EXPECT_NE(HashBytes(""), HashBytes("", 1));
+}
+
+TEST(HashToUnit, RangeAndUniformity) {
+  std::vector<double> xs;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const double u = HashToUnit(HashKey(i));
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+    xs.push_back(u);
+  }
+  EXPECT_GT(KsPValue(KsStatisticUniform(xs), xs.size()), 1e-4);
+}
+
+TEST(HashKey, FewCollisionsOnSmallDomain) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) seen.insert(HashKey(i));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace ats

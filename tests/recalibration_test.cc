@@ -1,0 +1,139 @@
+// Tests for ats/core/recalibration.h: the substitutability checker
+// validates the paper's claims about each canonical thresholding rule
+// (Sections 2.5-2.7).
+#include "ats/core/recalibration.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/composition.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+namespace {
+
+TEST(Recalibration, BottomKThresholdUnchangedForSampledItems) {
+  // Section 2.5.1: setting a sampled (bottom-k) priority to 0 does not
+  // move the threshold.
+  const auto rule = BottomKRule(3);
+  const std::vector<double> p = {0.9, 0.1, 0.5, 0.3, 0.7, 0.2};
+  const auto t = rule(p);
+  // Sampled: priorities 0.1, 0.2, 0.3 (threshold = 0.5).
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+  const auto recal = RecalibratedThresholds(rule, p, {1, 3, 5});
+  EXPECT_DOUBLE_EQ(recal[0], 0.5);
+}
+
+TEST(Recalibration, BottomKRecalibrationMovesForUnsampledItems) {
+  // Recalibrating an UNSAMPLED item's priority to 0 pulls the threshold
+  // down: the definition only promises equality for sampled subsets.
+  const auto rule = BottomKRule(3);
+  const std::vector<double> p = {0.9, 0.1, 0.5, 0.3, 0.7, 0.2};
+  const auto recal = RecalibratedThresholds(rule, p, {0});  // 0.9 unsampled
+  EXPECT_LT(recal[0], 0.5);
+}
+
+TEST(Recalibration, UnderfullBottomKIsInfinite) {
+  const auto rule = BottomKRule(10);
+  const std::vector<double> p = {0.5, 0.2};
+  EXPECT_EQ(rule(p)[0], kInfiniteThreshold);
+}
+
+class RuleSubstitutabilityTest
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RuleSubstitutabilityTest, BottomKIsFullySubstitutable) {
+  const size_t k = GetParam();
+  const auto report =
+      CheckSubstitutability(BottomKRule(k), /*n=*/40, /*trials=*/300,
+                            /*max_subset_size=*/6, /*seed=*/k);
+  EXPECT_GT(report.trials, 0);
+  EXPECT_EQ(report.violations, 0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, RuleSubstitutabilityTest,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+TEST(Recalibration, BudgetRuleIsFullySubstitutable) {
+  Xoshiro256 rng(17);
+  std::vector<double> sizes(30);
+  for (double& s : sizes) s = 1.0 + 4.0 * rng.NextDouble();
+  const auto report = CheckSubstitutability(
+      BudgetRule(sizes, /*budget=*/25.0), sizes.size(), 300, 5);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(Recalibration, SequentialRuleIs1Substitutable) {
+  const auto report = CheckSubstitutability(SequentialBottomKRule(4),
+                                            /*n=*/50, /*trials=*/500,
+                                            /*max_subset_size=*/1);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(Recalibration, SequentialRuleIsNot2Substitutable) {
+  // Section 2.7's example: the "ever in the bottom-k" rule fails for
+  // subsets of size 2 because an early sampled priority can define a later
+  // item's threshold.
+  const auto report = CheckSubstitutability(SequentialBottomKRule(4),
+                                            /*n=*/50, /*trials=*/500,
+                                            /*max_subset_size=*/2);
+  EXPECT_GT(report.violations, 0);
+}
+
+TEST(Recalibration, MinCompositionPreservesSubstitutability) {
+  // Theorem 9: min of two bottom-k rules stays fully substitutable.
+  const auto rule =
+      MinRule({BottomKRule(3), BottomKRule(7)});
+  const auto report = CheckSubstitutability(rule, 30, 300, 5);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(Recalibration, MaxCompositionIs1Substitutable) {
+  const auto rule = MaxRule({BottomKRule(3), BottomKRule(7)});
+  const auto report = CheckSubstitutability(rule, 30, 400, 1);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(Recalibration, SubsetSubstitutableHereIsVacuousWhenNotSampled) {
+  const auto rule = BottomKRule(2);
+  const std::vector<double> p = {0.9, 0.1, 0.2, 0.3};
+  // Index 0 (0.9) is not sampled: condition is vacuously true.
+  EXPECT_TRUE(SubsetSubstitutableHere(rule, p, {0}));
+}
+
+TEST(Recalibration, ExcludeGroupRuleHasZeroInclusionForGroup) {
+  // Section 2.3's pathological rule: group members can never be sampled
+  // (the threshold is the group's min priority), so no unbiased estimator
+  // of a group-involving total exists.
+  const std::vector<bool> group = {true, false, true, false};
+  const auto rule = ExcludeGroupRule(group);
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(4);
+    for (double& x : p) x = rng.NextDoubleOpenZero();
+    const auto t = rule(p);
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (group[i]) {
+        EXPECT_GE(p[i], t[i]);
+      }
+    }
+  }
+}
+
+TEST(Recalibration, GlobalMinRuleBroadcastsMinimum) {
+  const auto base = [](const std::vector<double>& p) {
+    std::vector<double> t(p.size());
+    for (size_t i = 0; i < p.size(); ++i) t[i] = 0.5 + p[i];
+    return t;
+  };
+  const auto rule = GlobalMinRule(base);
+  const std::vector<double> p = {0.3, 0.1, 0.9};
+  const auto t = rule(p);
+  EXPECT_DOUBLE_EQ(t[0], 0.6);
+  EXPECT_DOUBLE_EQ(t[1], 0.6);
+  EXPECT_DOUBLE_EQ(t[2], 0.6);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,124 @@
+// Tests for sketch serialization (ats/util/serialize.h plumbing through
+// KmvSketch and LcsSketch): round trips, cross-node merge-after-ship, and
+// corrupt-input rejection.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/util/serialize.h"
+
+namespace ats {
+namespace {
+
+TEST(ByteIo, RoundTripsPodValues) {
+  ByteWriter w;
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteDouble(3.14159);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.ReadU32().has_value());  // truncation detected
+}
+
+TEST(KmvSerialize, RoundTripPreservesEverything) {
+  KmvSketch sketch(64, 1.0, 7);
+  for (uint64_t i = 0; i < 5000; ++i) sketch.AddKey(i);
+  const std::string bytes = sketch.SerializeToString();
+  const auto restored = KmvSketch::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->k(), sketch.k());
+  EXPECT_EQ(restored->hash_salt(), sketch.hash_salt());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
+  EXPECT_EQ(restored->size(), sketch.size());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+  EXPECT_EQ(restored->saturated(), sketch.saturated());
+}
+
+TEST(KmvSerialize, RestoredSketchKeepsIngesting) {
+  KmvSketch sketch(32, 1.0, 3);
+  for (uint64_t i = 0; i < 1000; ++i) sketch.AddKey(i);
+  auto restored = KmvSketch::Deserialize(sketch.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  // Continue the stream on the restored sketch and on the original: they
+  // must stay identical.
+  for (uint64_t i = 1000; i < 3000; ++i) {
+    sketch.AddKey(i);
+    restored->AddKey(i);
+  }
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
+}
+
+TEST(KmvSerialize, ShippedSketchesMerge) {
+  KmvSketch a(64, 1.0, 9), b(64, 1.0, 9), whole(64, 1.0, 9);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    whole.AddKey(i);
+    (i % 2 ? a : b).AddKey(i);
+  }
+  auto a2 = KmvSketch::Deserialize(a.SerializeToString());
+  auto b2 = KmvSketch::Deserialize(b.SerializeToString());
+  ASSERT_TRUE(a2 && b2);
+  a2->Merge(*b2);
+  EXPECT_DOUBLE_EQ(a2->Estimate(), whole.Estimate());
+}
+
+TEST(KmvSerialize, RejectsCorruptInput) {
+  KmvSketch sketch(16, 1.0, 1);
+  for (uint64_t i = 0; i < 100; ++i) sketch.AddKey(i);
+  std::string bytes = sketch.SerializeToString();
+
+  EXPECT_FALSE(KmvSketch::Deserialize("").has_value());
+  EXPECT_FALSE(KmvSketch::Deserialize("garbage").has_value());
+  // Truncated payload.
+  EXPECT_FALSE(
+      KmvSketch::Deserialize(std::string_view(bytes).substr(0, 20))
+          .has_value());
+  // Flipped magic.
+  std::string bad = bytes;
+  bad[0] ^= 0x5a;
+  EXPECT_FALSE(KmvSketch::Deserialize(bad).has_value());
+  // Trailing junk.
+  EXPECT_FALSE(KmvSketch::Deserialize(bytes + "x").has_value());
+}
+
+TEST(LcsSerialize, RoundTripAndChainedMerge) {
+  KmvSketch a(64, 1.0, 5), b(64, 1.0, 5);
+  for (uint64_t i = 0; i < 3000; ++i) a.AddKey(i);
+  for (uint64_t i = 2000; i < 6000; ++i) b.AddKey(i);
+
+  LcsSketch la = LcsSketch::FromKmv(a);
+  const auto shipped = LcsSketch::Deserialize(la.SerializeToString());
+  ASSERT_TRUE(shipped.has_value());
+  EXPECT_DOUBLE_EQ(shipped->Estimate(), la.Estimate());
+  EXPECT_EQ(shipped->size(), la.size());
+
+  // Merge after shipping equals merging locally.
+  LcsSketch local = la;
+  local.Merge(LcsSketch::FromKmv(b));
+  LcsSketch remote = *shipped;
+  remote.Merge(LcsSketch::FromKmv(b));
+  EXPECT_DOUBLE_EQ(remote.Estimate(), local.Estimate());
+}
+
+TEST(LcsSerialize, RejectsCorruptInput) {
+  KmvSketch a(16, 1.0, 2);
+  for (uint64_t i = 0; i < 200; ++i) a.AddKey(i);
+  const std::string bytes = LcsSketch::FromKmv(a).SerializeToString();
+  EXPECT_FALSE(LcsSketch::Deserialize("").has_value());
+  EXPECT_FALSE(
+      LcsSketch::Deserialize(std::string_view(bytes).substr(0, 10))
+          .has_value());
+  EXPECT_FALSE(LcsSketch::Deserialize(bytes + "zz").has_value());
+  // KMV bytes are not LCS bytes.
+  KmvSketch k(16, 1.0, 2);
+  k.AddKey(1);
+  EXPECT_FALSE(LcsSketch::Deserialize(k.SerializeToString()).has_value());
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,119 @@
+// Tests for ats/util/stats.h.
+#include "ats/util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/random.h"
+
+namespace ats {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 4.0);
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.PopulationVariance(), 0.0);
+  EXPECT_EQ(s.SampleVariance(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Xoshiro256 rng(1);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 1.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.SampleVariance(), all.SampleVariance(), 1e-8);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, RmseAroundTruth) {
+  RunningStat s;
+  s.Add(9.0);
+  s.Add(11.0);
+  // mean 10, pop var 1; around center 10: rmse = 1.
+  EXPECT_DOUBLE_EQ(s.Rmse(10.0), 1.0);
+  // around 8: bias 2, var 1 => sqrt(5).
+  EXPECT_NEAR(s.Rmse(8.0), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.7), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(KsStatistic, DetectsNonUniform) {
+  std::vector<double> uniform, squashed;
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.NextDouble();
+    uniform.push_back(u);
+    squashed.push_back(u * u);  // Beta-like, not uniform
+  }
+  EXPECT_GT(KsPValue(KsStatisticUniform(uniform), 5000), 1e-3);
+  EXPECT_LT(KsPValue(KsStatisticUniform(squashed), 5000), 1e-6);
+}
+
+TEST(ChiSquare, UniformCountsPass) {
+  std::vector<int64_t> counts = {100, 103, 98, 101, 97, 102, 99, 100};
+  EXPECT_LT(ChiSquareUniform(counts), ChiSquareCritical999(7));
+}
+
+TEST(ChiSquare, SkewedCountsFail) {
+  std::vector<int64_t> counts = {400, 50, 50, 50, 50, 50, 50, 100};
+  EXPECT_GT(ChiSquareUniform(counts), ChiSquareCritical999(7));
+}
+
+TEST(ChiSquareCritical, MatchesTables) {
+  // chi2_{0.999} reference values: df=9 -> 27.88, df=99 -> 148.23.
+  EXPECT_NEAR(ChiSquareCritical999(9), 27.88, 0.5);
+  EXPECT_NEAR(ChiSquareCritical999(99), 148.23, 1.5);
+}
+
+TEST(PearsonCorrelation, KnownCases) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+}  // namespace
+}  // namespace ats

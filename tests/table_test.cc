@@ -1,0 +1,46 @@
+// Tests for ats/util/table.h.
+#include "ats/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ats {
+namespace {
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"a", "long_header"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("| a   | long_header |"), std::string::npos);
+  EXPECT_NE(text.find("| 333 | 4           |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"x", "y"});
+  t.AddNumericRow({1.5, 2.25});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1.5,2.25\n");
+}
+
+TEST(Table, NumericPrecision) {
+  Table t({"v"});
+  t.AddNumericRow({3.14159265}, 3);
+  EXPECT_EQ(t.ToCsv(), "v\n3.14\n");
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatDouble(0.000123456, 3), "0.000123");
+  EXPECT_EQ(FormatDouble(1e9, 2), "1e+09");
+}
+
+TEST(HasCsvFlag, DetectsFlag) {
+  const char* argv1[] = {"prog", "--csv"};
+  const char* argv2[] = {"prog", "--other"};
+  EXPECT_TRUE(HasCsvFlag(2, const_cast<char**>(argv1)));
+  EXPECT_FALSE(HasCsvFlag(2, const_cast<char**>(argv2)));
+  EXPECT_FALSE(HasCsvFlag(1, const_cast<char**>(argv1)));
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,166 @@
+// Tests for ats/sketch/theta.h and ats/sketch/lcs_merge.h (Section 3.5,
+// Figure 4): union estimates, the LCS variance advantage, and chaining.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/sketch/kmv.h"
+#include "ats/sketch/lcs_merge.h"
+#include "ats/sketch/theta.h"
+#include "ats/util/stats.h"
+#include "ats/workload/synthetic.h"
+
+namespace ats {
+namespace {
+
+TEST(Theta, SingleStreamMatchesKmv) {
+  ThetaSketch theta(64);
+  KmvSketch kmv(64);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    theta.AddKey(i);
+    kmv.AddKey(i);
+  }
+  EXPECT_DOUBLE_EQ(theta.Estimate(), kmv.Estimate());
+  EXPECT_DOUBLE_EQ(theta.Theta(), kmv.Threshold());
+}
+
+TEST(Theta, UnionEstimatesUnionSize) {
+  const auto sets = MakeSetPairWithJaccard(20000, 40000, 0.1, 1);
+  ThetaSketch a(128), b(128);
+  for (uint64_t key : sets.a) a.AddKey(key);
+  for (uint64_t key : sets.b) b.AddKey(key);
+  const ThetaSketch u = ThetaSketch::Union({&a, &b});
+  EXPECT_NEAR(u.Estimate(), double(sets.union_size),
+              4.0 * double(sets.union_size) / std::sqrt(128.0));
+  // Theta union threshold is the min of the inputs.
+  EXPECT_DOUBLE_EQ(u.Theta(), std::min(a.Theta(), b.Theta()));
+  // Union can retain more than k hashes (no re-capping).
+  EXPECT_GE(u.size(), 128u);
+}
+
+TEST(Lcs, FromKmvMatchesKmvEstimate) {
+  KmvSketch kmv(64);
+  for (uint64_t i = 0; i < 3000; ++i) kmv.AddKey(i);
+  const LcsSketch lcs = LcsSketch::FromKmv(kmv);
+  EXPECT_NEAR(lcs.Estimate(), kmv.Estimate(), 1e-9);
+  EXPECT_EQ(lcs.size(), kmv.size());
+}
+
+TEST(Lcs, UnionIsUnbiased) {
+  const size_t k = 128;
+  RunningStat est;
+  const int trials = 200;
+  size_t union_size = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto sets =
+        MakeSetPairWithJaccard(10000, 20000, 0.15, 100 + t);
+    union_size = sets.union_size;
+    KmvSketch a(k, 1.0, static_cast<uint64_t>(t)),
+        b(k, 1.0, static_cast<uint64_t>(t));
+    for (uint64_t key : sets.a) a.AddKey(key);
+    for (uint64_t key : sets.b) b.AddKey(key);
+    LcsSketch u = LcsSketch::FromKmv(a);
+    u.Merge(LcsSketch::FromKmv(b));
+    est.Add(u.Estimate());
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), double(union_size), 4.0 * se);
+}
+
+TEST(Lcs, BeatsThetaAndBottomKVariance) {
+  // The Figure 4 ordering at moderate Jaccard: LCS error below both the
+  // bottom-k merge and the Theta union.
+  const size_t k = 100;
+  RunningStat lcs_err, theta_err, bottomk_err;
+  const int trials = 250;
+  for (int t = 0; t < trials; ++t) {
+    const auto sets = MakeSetPairWithJaccard(20000, 40000, 0.05, 500 + t);
+    const double n = double(sets.union_size);
+    const uint64_t salt = static_cast<uint64_t>(t) + 1;
+
+    KmvSketch ka(k, 1.0, salt), kb(k, 1.0, salt);
+    ThetaSketch ta(k, salt), tb(k, salt);
+    for (uint64_t key : sets.a) {
+      ka.AddKey(key);
+      ta.AddKey(key);
+    }
+    for (uint64_t key : sets.b) {
+      kb.AddKey(key);
+      tb.AddKey(key);
+    }
+    LcsSketch lcs = LcsSketch::FromKmv(ka);
+    lcs.Merge(LcsSketch::FromKmv(kb));
+    lcs_err.Add((lcs.Estimate() - n) / n);
+
+    theta_err.Add((ThetaSketch::Union({&ta, &tb}).Estimate() - n) / n);
+
+    KmvSketch merged = ka;
+    merged.Merge(kb);
+    bottomk_err.Add((merged.Estimate() - n) / n);
+  }
+  EXPECT_LT(lcs_err.StdDev(), theta_err.StdDev());
+  EXPECT_LT(lcs_err.StdDev(), bottomk_err.StdDev());
+}
+
+TEST(Lcs, ChainedMergesStayAccurate) {
+  // Merge 20 sketches of disjoint sets; chained LCS merges estimate the
+  // total with the dominant-set property of Section 3.5.
+  const size_t k = 100;
+  LcsSketch total;
+  double truth = 0.0;
+  for (int s = 0; s < 20; ++s) {
+    KmvSketch sketch(k, 1.0, 7);
+    const uint64_t base = static_cast<uint64_t>(s) << 40;
+    const size_t n = 1000 * (static_cast<size_t>(s) + 1);
+    for (uint64_t i = 0; i < n; ++i) sketch.AddKey(base + i);
+    truth += double(n);
+    total.Merge(LcsSketch::FromKmv(sketch));
+  }
+  EXPECT_NEAR(total.Estimate(), truth, 0.15 * truth);
+}
+
+TEST(Lcs, DominantSetMergeErrorScalesWithLargeSetOnly) {
+  // Section 3.5's example shape: one large set union many small sets. The
+  // small sets are counted EXACTLY by LCS (their sketches are
+  // unsaturated, per-item threshold 1), so only the large sketch
+  // contributes error. The Theta union, in contrast, downsamples
+  // everything to the min threshold.
+  const size_t k = 100;
+  const size_t large_n = 100000, small_sets = 200, small_n = 50;
+  RunningStat lcs_err, theta_err;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t salt = static_cast<uint64_t>(t) + 1;
+    KmvSketch large(k, 1.0, salt);
+    ThetaSketch large_theta(k, salt);
+    for (uint64_t i = 0; i < large_n; ++i) {
+      const uint64_t key = (1ULL << 50) + i;
+      large.AddKey(key);
+      large_theta.AddKey(key);
+    }
+    LcsSketch lcs = LcsSketch::FromKmv(large);
+    std::vector<ThetaSketch> small_thetas;
+    small_thetas.reserve(small_sets);
+    for (size_t s = 0; s < small_sets; ++s) {
+      KmvSketch small(k, 1.0, salt);
+      ThetaSketch small_theta(k, salt);
+      for (uint64_t i = 0; i < small_n; ++i) {
+        const uint64_t key = (static_cast<uint64_t>(s) << 20) + i;
+        small.AddKey(key);
+        small_theta.AddKey(key);
+      }
+      lcs.Merge(LcsSketch::FromKmv(small));
+      small_thetas.push_back(std::move(small_theta));
+    }
+    std::vector<const ThetaSketch*> inputs = {&large_theta};
+    for (const auto& s : small_thetas) inputs.push_back(&s);
+    const double truth = double(large_n + small_sets * small_n);
+    lcs_err.Add((lcs.Estimate() - truth) / truth);
+    theta_err.Add((ThetaSketch::Union(inputs).Estimate() - truth) / truth);
+  }
+  EXPECT_LT(lcs_err.StdDev(), theta_err.StdDev());
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,97 @@
+// Tests for ats/samplers/time_decay.h (Section 2.9).
+#include "ats/samplers/time_decay.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/util/stats.h"
+
+namespace ats {
+namespace {
+
+TEST(TimeDecay, SizeBoundedByK) {
+  TimeDecaySampler sampler(10, 1);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sampler.Add(i, 1.0, 1.0, static_cast<double>(i) * 0.01);
+  }
+  EXPECT_EQ(sampler.size(), 10u);
+}
+
+TEST(TimeDecay, RecentItemsDominateSample) {
+  // With decay rate 1, items older than a few time units have negligible
+  // decayed weight; the sample should consist mostly of recent arrivals.
+  TimeDecaySampler sampler(20, 2);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    sampler.Add(i, 1.0, 1.0, static_cast<double>(i) * 0.01);  // ends at t=20
+  }
+  int recent = 0;
+  for (const auto& e : sampler.SampleAt(20.0)) {
+    if (e.arrival_time > 15.0) ++recent;
+  }
+  EXPECT_GT(recent, 15);
+}
+
+TEST(TimeDecay, InclusionProbabilitiesAreValid) {
+  TimeDecaySampler sampler(15, 3);
+  Xoshiro256 rng(4);
+  for (uint64_t i = 0; i < 500; ++i) {
+    sampler.Add(i, std::exp(rng.NextGaussian()), 1.0,
+                static_cast<double>(i) * 0.02);
+  }
+  for (const auto& e : sampler.SampleAt(10.0)) {
+    EXPECT_GT(e.inclusion_probability, 0.0);
+    EXPECT_LE(e.inclusion_probability, 1.0);
+    EXPECT_GE(e.decayed_weight, 0.0);
+  }
+}
+
+TEST(TimeDecay, EstimateIsUnbiasedForDecayedTotal) {
+  // Fixed arrival schedule; true decayed total at query time is known.
+  const size_t n = 400;
+  std::vector<double> weights(n), times(n);
+  Xoshiro256 setup(5);
+  const double now = 8.0;
+  double truth = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 0.5 + setup.NextDouble();
+    times[i] = now * static_cast<double>(i) / static_cast<double>(n);
+    truth += weights[i] * std::exp(-(now - times[i]));
+  }
+  RunningStat est;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    TimeDecaySampler sampler(25, 1000 + static_cast<uint64_t>(t));
+    for (size_t i = 0; i < n; ++i) {
+      sampler.Add(i, weights[i], 1.0, times[i]);
+    }
+    est.Add(sampler.EstimateDecayedTotal(now));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), truth, 4.0 * se);
+}
+
+TEST(TimeDecay, UnderfullSketchIsExact) {
+  TimeDecaySampler sampler(100, 7);
+  double truth = 0.0;
+  const double now = 2.0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const double t = 0.1 * static_cast<double>(i);
+    sampler.Add(i, 2.0, 1.0, t);
+    truth += 2.0 * std::exp(-(now - t));
+  }
+  EXPECT_NEAR(sampler.EstimateDecayedTotal(now), truth, 1e-9);
+}
+
+TEST(TimeDecay, LateHeavyItemEvictsOldLight) {
+  TimeDecaySampler sampler(5, 8);
+  for (uint64_t i = 0; i < 50; ++i) {
+    sampler.Add(i, 1.0, 1.0, 0.0);
+  }
+  // A much later arrival is effectively guaranteed in.
+  EXPECT_TRUE(sampler.Add(999, 1.0, 1.0, 30.0));
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,155 @@
+// Tests for ats/samplers/topk_sampler.h (Section 3.3): top-k recovery,
+// unbiased count estimation through re-thresholding, and adaptive size.
+#include "ats/samplers/topk_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/util/stats.h"
+#include "ats/workload/pitman_yor.h"
+#include "ats/workload/zipf.h"
+
+namespace ats {
+namespace {
+
+TEST(TopKSampler, ExactOnSmallStreams) {
+  TopKSampler sampler(3, 1);
+  for (int rep = 0; rep < 5; ++rep) sampler.Add(100);
+  for (int rep = 0; rep < 3; ++rep) sampler.Add(200);
+  sampler.Add(300);
+  const auto top = sampler.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 100u);
+  EXPECT_EQ(top[1], 200u);
+  EXPECT_EQ(top[2], 300u);
+  EXPECT_DOUBLE_EQ(sampler.EstimatedCount(100), 5.0);
+}
+
+TEST(TopKSampler, RecoversZipfTopK) {
+  // Zipf(1.2): clear separation; the sampler should nail the top 10.
+  ZipfGenerator zipf(10000, 1.2, 5);
+  TopKSampler sampler(10, 6);
+  for (int i = 0; i < 200000; ++i) sampler.Add(zipf.Next());
+  const auto top = sampler.TopK();
+  std::set<uint64_t> got(top.begin(), top.end());
+  int hits = 0;
+  for (uint64_t i = 0; i < 10; ++i) hits += got.contains(i);
+  EXPECT_GE(hits, 9);
+}
+
+TEST(TopKSampler, ThresholdIsMonotoneNonIncreasing) {
+  ZipfGenerator zipf(1000, 1.0, 7);
+  TopKSampler sampler(5, 8);
+  double prev = sampler.Threshold();
+  for (int i = 0; i < 50000; ++i) {
+    sampler.Add(zipf.Next());
+    ASSERT_LE(sampler.Threshold(), prev);
+    prev = sampler.Threshold();
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(TopKSampler, SizeAdaptsToTailHeaviness) {
+  // Heavier tails (larger beta) need larger sketches; the sampler should
+  // grow its size accordingly (Figure 3, right panel).
+  auto sketch_size = [](double beta) {
+    PitmanYorStream stream(beta, 13);
+    TopKSampler sampler(10, 17);
+    for (int i = 0; i < 100000; ++i) sampler.Add(stream.Next());
+    return sampler.size();
+  };
+  const size_t light = sketch_size(0.25);
+  const size_t heavy = sketch_size(0.9);
+  EXPECT_GT(heavy, 2 * light);
+}
+
+struct CountParam {
+  size_t k;
+  double zipf_s;
+};
+
+class TopKCountTest : public ::testing::TestWithParam<CountParam> {};
+
+TEST_P(TopKCountTest, TotalCountEstimateIsUnbiased) {
+  // Sum of estimated counts over ALL sketch entries estimates the total
+  // stream length unbiasedly (the disaggregated subset sum with the
+  // all-keys subset).
+  const auto [k, s] = GetParam();
+  const int stream_len = 20000;
+  RunningStat est;
+  const int trials = 120;
+  for (int t = 0; t < trials; ++t) {
+    ZipfGenerator zipf(500, s, 100 + static_cast<uint64_t>(t));
+    TopKSampler sampler(k, 7000 + static_cast<uint64_t>(t) * 13);
+    for (int i = 0; i < stream_len; ++i) sampler.Add(zipf.Next());
+    est.Add(sampler.EstimatedSubsetCount([](uint64_t) { return true; }));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), stream_len, 4.0 * se + 1e-6)
+      << "k=" << k << " zipf_s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKCountTest,
+                         ::testing::Values(CountParam{5, 1.3},
+                                           CountParam{10, 1.0},
+                                           CountParam{20, 0.8}));
+
+TEST(TopKSampler, SubsetCountIsUnbiased) {
+  // Disaggregated subset sum: estimate the count of even items.
+  const int stream_len = 20000;
+  int64_t truth = 0;
+  {
+    ZipfGenerator zipf(500, 1.0, 555);
+    for (int i = 0; i < stream_len; ++i) truth += (zipf.Next() % 2 == 0);
+  }
+  RunningStat est;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    ZipfGenerator zipf(500, 1.0, 555);  // same stream each trial
+    TopKSampler sampler(10, 900 + static_cast<uint64_t>(t) * 7);
+    for (int i = 0; i < stream_len; ++i) sampler.Add(zipf.Next());
+    est.Add(sampler.EstimatedSubsetCount(
+        [](uint64_t key) { return key % 2 == 0; }));
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), static_cast<double>(truth), 4.0 * se);
+}
+
+TEST(TopKSampler, FrequentItemEstimatesAreAccurate) {
+  // The top items' counts should be within a few percent on a separated
+  // distribution (they are tracked exactly after entering).
+  ZipfGenerator zipf(10000, 1.5, 31);
+  std::vector<int64_t> truth(10000, 0);
+  TopKSampler sampler(10, 32);
+  for (int i = 0; i < 300000; ++i) {
+    const uint64_t x = zipf.Next();
+    ++truth[x];
+    sampler.Add(x);
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    const double est = sampler.EstimatedCount(i);
+    EXPECT_NEAR(est, static_cast<double>(truth[i]),
+                0.05 * static_cast<double>(truth[i]) + 50.0)
+        << "item " << i;
+  }
+}
+
+TEST(TopKSampler, EntriesExposeInvariants) {
+  ZipfGenerator zipf(100, 1.0, 41);
+  TopKSampler sampler(5, 42);
+  for (int i = 0; i < 5000; ++i) sampler.Add(zipf.Next());
+  for (const auto& e : sampler.Entries()) {
+    EXPECT_GT(e.priority, 0.0);
+    EXPECT_GT(e.threshold, 0.0);
+    EXPECT_LE(e.threshold, 1.0);
+    EXPECT_GE(e.count, 0);
+    EXPECT_GE(e.Estimate(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,143 @@
+// Tests for ats/baselines/varopt.h (variance-optimal sampling [7]).
+#include "ats/baselines/varopt.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/ht_estimator.h"
+#include "ats/util/stats.h"
+#include "ats/workload/synthetic.h"
+
+namespace ats {
+namespace {
+
+TEST(VarOpt, SizeIsExactlyK) {
+  VarOptSampler sampler(10, 1);
+  Xoshiro256 rng(2);
+  for (uint64_t i = 0; i < 500; ++i) {
+    sampler.Add(i, std::exp(rng.NextGaussian()));
+    ASSERT_LE(sampler.size(), 10u);
+  }
+  EXPECT_EQ(sampler.size(), 10u);
+}
+
+TEST(VarOpt, UnderfullIsExact) {
+  VarOptSampler sampler(20, 1);
+  double truth = 0.0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    sampler.Add(i, 1.0 + double(i));
+    truth += 1.0 + double(i);
+  }
+  EXPECT_DOUBLE_EQ(sampler.EstimateTotal(), truth);
+  EXPECT_EQ(sampler.Tau(), 0.0);
+}
+
+TEST(VarOpt, TotalEstimatePreservedExactly) {
+  // VarOpt's signature invariant: the total-weight estimate equals the
+  // exact running total after every update.
+  VarOptSampler sampler(25, 3);
+  Xoshiro256 rng(4);
+  double truth = 0.0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const double w = std::exp(rng.NextGaussian());
+    truth += w;
+    sampler.Add(i, w);
+    ASSERT_NEAR(sampler.EstimateTotal(), truth, 1e-6 * truth);
+  }
+}
+
+TEST(VarOpt, DuplicateKeysNeverRetainedTwice) {
+  VarOptSampler sampler(15, 5);
+  Xoshiro256 rng(6);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    sampler.Add(i, std::exp(rng.NextGaussian()));
+  }
+  std::set<uint64_t> keys;
+  for (const auto& e : sampler.Sample()) {
+    EXPECT_TRUE(keys.insert(e.key).second);
+    EXPECT_GE(e.adjusted_weight, sampler.Tau() - 1e-12);
+  }
+}
+
+struct VoParam {
+  size_t k;
+  uint64_t seed;
+};
+
+class VarOptSubsetTest : public ::testing::TestWithParam<VoParam> {};
+
+TEST_P(VarOptSubsetTest, SubsetSumsAreUnbiased) {
+  const auto [k, seed] = GetParam();
+  const auto population = MakeWeightedPopulation(500, 77, true);
+  double subset_truth = 0.0;
+  for (const auto& it : population) {
+    if (it.key % 3 == 0) subset_truth += it.weight;
+  }
+  RunningStat est;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    VarOptSampler sampler(k, seed + static_cast<uint64_t>(t) * 13);
+    for (const auto& it : population) sampler.Add(it.key, it.weight);
+    double e = 0.0;
+    for (const auto& entry : sampler.Sample()) {
+      if (entry.key % 3 == 0) e += entry.adjusted_weight;
+    }
+    est.Add(e);
+  }
+  const double se = est.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(est.mean(), subset_truth, 4.0 * se) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VarOptSubsetTest,
+                         ::testing::Values(VoParam{10, 1}, VoParam{30, 2},
+                                           VoParam{80, 3}));
+
+TEST(VarOpt, BeatsPrioritySamplingVariance) {
+  // VarOpt is variance-optimal for subset sums at fixed k; priority
+  // sampling pays a small premium (~ one extra "effective" sample).
+  const auto population = MakeWeightedPopulation(800, 9, true);
+  RunningStat varopt_est, priority_est;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t seed = 5000 + static_cast<uint64_t>(t) * 7;
+    VarOptSampler vo(30, seed);
+    PrioritySampler ps(30, seed + 1);
+    for (const auto& it : population) {
+      vo.Add(it.key, it.weight);
+      ps.Add(it.key, it.weight);
+    }
+    double sub = 0.0;
+    for (const auto& e : vo.Sample()) {
+      if (e.key % 2 == 0) sub += e.adjusted_weight;
+    }
+    varopt_est.Add(sub);
+    priority_est.Add(HtSubsetSum(ps.Sample(),
+                                 [](uint64_t k) { return k % 2 == 0; }));
+  }
+  EXPECT_LT(varopt_est.SampleVariance(),
+            1.15 * priority_est.SampleVariance());
+}
+
+TEST(VarOpt, HugeItemIsAlwaysRetainedExactly) {
+  VarOptSampler sampler(5, 11);
+  Xoshiro256 rng(12);
+  for (uint64_t i = 0; i < 200; ++i) sampler.Add(i, 1.0);
+  sampler.Add(999, 1000.0);
+  for (uint64_t i = 200; i < 400; ++i) sampler.Add(i, 1.0);
+  bool found = false;
+  for (const auto& e : sampler.Sample()) {
+    if (e.key == 999) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.weight, 1000.0);
+      EXPECT_DOUBLE_EQ(e.adjusted_weight, 1000.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ats
