@@ -36,16 +36,18 @@ double HtWithFamily(const std::vector<ats::WeightedItem>& population,
     sketch.Offer(priorities[i], i);
   }
   std::vector<ats::SampleEntry> sample;
-  for (const auto& e : sketch.entries()) {
+  const auto& store = sketch.store();
+  for (size_t j = 0; j < store.size(); ++j) {
+    const size_t idx = store.payloads()[j];
     ats::SampleEntry s;
-    s.key = population[e.payload].key;
-    s.value = population[e.payload].weight;
-    s.priority = e.priority;
+    s.key = population[idx].key;
+    s.value = population[idx].weight;
+    s.priority = store.priorities()[j];
     s.threshold = sketch.Threshold();
-    s.dist = exponential ? ats::PriorityDist::Exponential(
-                               population[e.payload].weight)
-                         : ats::PriorityDist::WeightedUniform(
-                               population[e.payload].weight);
+    s.dist = exponential
+                 ? ats::PriorityDist::Exponential(population[idx].weight)
+                 : ats::PriorityDist::WeightedUniform(
+                       population[idx].weight);
     sample.push_back(s);
   }
   return ats::HtTotal(sample);

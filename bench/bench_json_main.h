@@ -1,0 +1,52 @@
+// Shared main() for the google-benchmark binaries: accepts --json[=PATH]
+// as shorthand for --benchmark_out=PATH --benchmark_out_format=json, so
+// perf runs emit machine-readable output (consumed by bench/run_bench.sh
+// to track the perf trajectory across PRs) while keeping the console
+// report.
+#ifndef ATS_BENCH_JSON_MAIN_H_
+#define ATS_BENCH_JSON_MAIN_H_
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace ats {
+
+inline int RunBenchmarksWithJsonFlag(int argc, char** argv,
+                                     const char* default_json_path) {
+  std::vector<std::string> rewritten;
+  rewritten.reserve(static_cast<size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json", 0) == 0) {
+      const size_t eq = arg.find('=');
+      const std::string path =
+          eq == std::string::npos ? default_json_path : arg.substr(eq + 1);
+      rewritten.push_back("--benchmark_out_format=json");
+      rewritten.push_back("--benchmark_out=" + path);
+    } else {
+      rewritten.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(rewritten.size());
+  for (auto& s : rewritten) args.push_back(s.data());
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ats
+
+#define ATS_BENCHMARK_JSON_MAIN(default_path)                        \
+  int main(int argc, char** argv) {                                  \
+    return ats::RunBenchmarksWithJsonFlag(argc, argv, default_path); \
+  }
+
+#endif  // ATS_BENCH_JSON_MAIN_H_

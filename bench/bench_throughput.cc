@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "ats/baselines/frequent_items.h"
 #include "ats/baselines/reservoir.h"
 #include "ats/baselines/varopt.h"
@@ -184,4 +186,4 @@ BENCHMARK(BM_ReservoirAdd);
 }  // namespace
 }  // namespace ats
 
-BENCHMARK_MAIN();
+ATS_BENCHMARK_JSON_MAIN("BENCH_throughput.json")

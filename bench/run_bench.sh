@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the google-benchmark binaries and writes machine-readable JSON
+# results (BENCH_throughput.json, BENCH_sharded.json) into the repo root,
+# so successive PRs can track the perf trajectory.
+#
+# Usage: bench/run_bench.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DATS_BUILD_BENCH=ON \
+      -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_throughput bench_sharded
+
+"$BUILD_DIR/bench/bench_throughput" \
+    --json="$REPO_ROOT/BENCH_throughput.json" \
+    --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_sharded" \
+    --json="$REPO_ROOT/BENCH_sharded.json" \
+    --benchmark_min_time=0.1
+
+echo "Wrote $REPO_ROOT/BENCH_throughput.json and $REPO_ROOT/BENCH_sharded.json"

@@ -30,7 +30,7 @@ void WeightedReservoirSampler::Add(uint64_t key, double weight) {
 std::vector<uint64_t> WeightedReservoirSampler::SampleKeys() const {
   std::vector<uint64_t> out;
   out.reserve(sketch_.size());
-  for (const auto& e : sketch_.entries()) out.push_back(e.payload);
+  for (uint64_t key : sketch_.store().payloads()) out.push_back(key);
   return out;
 }
 

@@ -1,5 +1,12 @@
 #include "ats/core/bottom_k.h"
 
+#include <array>
+
+namespace {
+constexpr uint32_t kPrioritySamplerMagic = 0x50534d32;  // "PSM2"
+constexpr uint32_t kPrioritySamplerVersion = 1;
+}  // namespace
+
 namespace ats {
 
 PrioritySampler::PrioritySampler(size_t k, uint64_t seed, bool coordinated)
@@ -12,15 +19,74 @@ void PrioritySampler::Add(uint64_t key, double weight) {
   sketch_.Offer(priority, Item{key, weight});
 }
 
+size_t PrioritySampler::AddBatch(std::span<const Item> items) {
+  batch_priorities_.resize(items.size());
+  if (coordinated_) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      batch_priorities_[i] = PriorityDist::WeightedUniform(items[i].weight)
+                                 .FromHash(HashKey(items[i].key));
+    }
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      batch_priorities_[i] =
+          PriorityDist::WeightedUniform(items[i].weight).Sample(rng_);
+    }
+  }
+  return sketch_.OfferBatch(batch_priorities_, items);
+}
+
 std::vector<SampleEntry> PrioritySampler::Sample() const {
+  return MakeWeightedSample(sketch_.store());
+}
+
+std::vector<SampleEntry> MakeWeightedSample(
+    const SampleStore<PrioritySampler::Item>& store) {
   std::vector<SampleEntry> out;
-  out.reserve(sketch_.size());
-  const double t = sketch_.Threshold();
-  for (const auto& e : sketch_.entries()) {
+  out.reserve(store.size());
+  const double t = store.Threshold();
+  for (size_t i = 0; i < store.size(); ++i) {
+    const PrioritySampler::Item& item = store.payloads()[i];
     out.push_back(
-        MakeWeightedEntry(e.payload.key, e.payload.weight, e.priority, t));
+        MakeWeightedEntry(item.key, item.weight, store.priorities()[i], t));
   }
   return out;
+}
+
+void PrioritySampler::Merge(const PrioritySampler& other) {
+  sketch_.Merge(other.sketch_);
+}
+
+void PrioritySampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kPrioritySamplerMagic, kPrioritySamplerVersion);
+  w.WriteU32(coordinated_ ? 1 : 0);
+  for (uint64_t word : rng_.State()) w.WriteU64(word);
+  sketch_.SerializeTo(w);  // the nested BottomK frame carries the sample
+}
+
+std::optional<PrioritySampler> PrioritySampler::Deserialize(ByteReader& r) {
+  if (!ReadSketchHeader(r, kPrioritySamplerMagic,
+                        kPrioritySamplerVersion)) {
+    return std::nullopt;
+  }
+  const auto coordinated = r.ReadU32();
+  if (!coordinated) return std::nullopt;
+  std::array<uint64_t, 4> rng_state;
+  uint64_t state_or = 0;
+  for (uint64_t& word : rng_state) {
+    const auto v = r.ReadU64();
+    if (!v) return std::nullopt;
+    word = *v;
+    state_or |= word;
+  }
+  // All-zero is Xoshiro256's invalid fixed point (the stream degenerates
+  // to constant zeros); no genuine serializer emits it, so reject.
+  if (state_or == 0) return std::nullopt;
+  auto sketch = BottomK<Item>::Deserialize(r);
+  if (!sketch) return std::nullopt;
+  PrioritySampler sampler(sketch->k(), /*seed=*/1, *coordinated != 0);
+  sampler.sketch_ = std::move(*sketch);
+  sampler.rng_.SetState(rng_state);
+  return sampler;
 }
 
 }  // namespace ats

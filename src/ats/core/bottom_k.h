@@ -8,20 +8,40 @@
 // estimator with pi_i = F_i(T) is unbiased (Corollary 3). With
 // WeightedUniform priorities this is exactly priority sampling [12]; with
 // hashed Uniform priorities it is the KMV distinct-counting sketch.
+//
+// Retention (heap + threshold bookkeeping) lives in the shared
+// SampleStore; this header is the entry-oriented facade plus the weighted
+// PrioritySampler built on it.
 #ifndef ATS_CORE_BOTTOM_K_H_
 #define ATS_CORE_BOTTOM_K_H_
 
-#include <algorithm>
-#include <cstddef>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "ats/core/priority.h"
+#include "ats/core/sample_store.h"
 #include "ats/core/threshold.h"
 #include "ats/util/check.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
-// Generic bottom-k container over (priority, payload) pairs.
+// Writes/reads a bottom-k payload on the wire. Specialize for payload
+// types that need to cross serialization boundaries.
+template <typename Payload>
+struct PayloadCodec;
+
+template <>
+struct PayloadCodec<uint64_t> {
+  static void Write(ByteWriter& w, uint64_t v) { w.WriteU64(v); }
+  static std::optional<uint64_t> Read(ByteReader& r) { return r.ReadU64(); }
+};
+
+// Generic bottom-k container over (priority, payload) pairs, backed by the
+// shared SampleStore.
 //
 // Offer() is O(log k); Threshold() is O(1). The threshold starts at
 // +infinity and becomes finite once k+1 distinct offers have been seen,
@@ -33,102 +53,123 @@ class BottomK {
     double priority;
     Payload payload;
     friend bool operator<(const Entry& a, const Entry& b) {
-      return a.priority < b.priority;  // max-heap orders by priority
+      return a.priority < b.priority;
     }
   };
 
-  explicit BottomK(size_t k) : k_(k) { ATS_CHECK(k >= 1); }
+  explicit BottomK(size_t k) : store_(k) {}
 
   // Offers an item. Returns true iff the item is retained (i.e. its
   // priority is below the current threshold and it enters the sketch).
   bool Offer(double priority, Payload payload) {
-    if (priority >= threshold_) return false;
-    if (heap_.size() < k_) {
-      heap_.push_back(Entry{priority, std::move(payload)});
-      std::push_heap(heap_.begin(), heap_.end());
-      return true;
-    }
-    if (priority >= heap_.front().priority) {
-      // Not among the k smallest: its priority is a new (k+1)-th candidate.
-      threshold_ = std::min(threshold_, priority);
-      return false;
-    }
-    // Evict the current max; the evicted priority becomes the threshold.
-    std::pop_heap(heap_.begin(), heap_.end());
-    threshold_ = std::min(threshold_, heap_.back().priority);
-    heap_.back() = Entry{priority, std::move(payload)};
-    std::push_heap(heap_.begin(), heap_.end());
-    return true;
+    return store_.Offer(priority, std::move(payload));
+  }
+
+  // Batched offers: equivalent to a scalar Offer loop but pre-filtered
+  // against the threshold in the store's column scan. Returns the number
+  // of retained items.
+  size_t OfferBatch(std::span<const double> priorities,
+                    std::span<const Payload> payloads) {
+    return store_.OfferBatch(priorities, payloads);
   }
 
   // The adaptive threshold: (k+1)-th smallest priority seen, or +infinity
   // while fewer than k+1 items have been offered.
-  double Threshold() const { return threshold_; }
+  double Threshold() const { return store_.Threshold(); }
 
   // Largest retained priority (the k-th smallest seen). Only valid when
   // size() > 0.
-  double MaxRetainedPriority() const {
-    ATS_CHECK(!heap_.empty());
-    return heap_.front().priority;
+  double MaxRetainedPriority() const { return store_.MaxRetainedPriority(); }
+
+  size_t size() const { return store_.size(); }
+  size_t k() const { return store_.k(); }
+  bool saturated() const { return store_.saturated(); }
+
+  // Retained entries in unspecified (heap) order, materialized from the
+  // store's columns.
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(store_.size());
+    for (size_t i = 0; i < store_.size(); ++i) {
+      out.push_back(Entry{store_.priorities()[i], store_.payloads()[i]});
+    }
+    return out;
   }
-
-  size_t size() const { return heap_.size(); }
-  size_t k() const { return k_; }
-  bool saturated() const { return threshold_ != kInfiniteThreshold; }
-
-  // Retained entries in unspecified (heap) order.
-  const std::vector<Entry>& entries() const { return heap_; }
 
   // Retained entries sorted by ascending priority.
   std::vector<Entry> SortedEntries() const {
-    std::vector<Entry> out = heap_;
-    std::sort(out.begin(), out.end(),
-              [](const Entry& a, const Entry& b) {
-                return a.priority < b.priority;
-              });
+    std::vector<Entry> out;
+    out.reserve(store_.size());
+    for (size_t i : store_.SortedOrder()) {
+      out.push_back(Entry{store_.priorities()[i], store_.payloads()[i]});
+    }
     return out;
   }
 
   // Merges another bottom-k sketch over a disjoint stream: the result is
   // the bottom-k sketch of the concatenated streams. The threshold is the
   // min of both thresholds and of any priority evicted while merging.
-  void Merge(const BottomK& other) {
-    threshold_ = std::min(threshold_, other.threshold_);
-    for (const Entry& e : other.heap_) {
-      if (e.priority < threshold_) Offer(e.priority, e.payload);
-    }
-    // Offers above may have raised nothing; entries at/above threshold must
-    // be purged so the invariant "retained iff priority < threshold" holds.
-    PurgeAboveThreshold();
-  }
+  // Merging a sketch with itself is a no-op (aliasing-safe).
+  void Merge(const BottomK& other) { store_.Merge(other.store_); }
 
   // Removes retained entries with priority >= Threshold(). Needed after
   // merges or external threshold reductions.
-  void PurgeAboveThreshold() {
-    if (threshold_ == kInfiniteThreshold) return;
-    std::vector<Entry> kept;
-    kept.reserve(heap_.size());
-    for (Entry& e : heap_) {
-      if (e.priority < threshold_) kept.push_back(std::move(e));
-    }
-    heap_ = std::move(kept);
-    std::make_heap(heap_.begin(), heap_.end());
-  }
+  void PurgeAboveThreshold() { store_.PurgeAboveThreshold(); }
 
   // Externally lowers the threshold (used by threshold composition); purges
   // entries that fall outside.
-  void LowerThreshold(double t) {
-    if (t < threshold_) {
-      threshold_ = t;
-      PurgeAboveThreshold();
+  void LowerThreshold(double t) { store_.LowerThreshold(t); }
+
+  SampleStore<Payload>& store() { return store_; }
+  const SampleStore<Payload>& store() const { return store_; }
+
+  // Wire format (requires a PayloadCodec<Payload> specialization).
+  void SerializeTo(ByteWriter& w) const {
+    WriteSketchHeader(w, kMagic, kVersion);
+    w.WriteU64(store_.k());
+    w.WriteDouble(store_.Threshold());
+    w.WriteU64(store_.size());
+    for (size_t i = 0; i < store_.size(); ++i) {
+      w.WriteDouble(store_.priorities()[i]);
+      PayloadCodec<Payload>::Write(w, store_.payloads()[i]);
     }
   }
 
+  static std::optional<BottomK> Deserialize(ByteReader& r) {
+    if (!ReadSketchHeader(r, kMagic, kVersion)) return std::nullopt;
+    const auto k = r.ReadU64();
+    const auto threshold = r.ReadDouble();
+    const auto count = r.ReadU64();
+    if (!k || !threshold || !count) return std::nullopt;
+    // Priorities live on the whole real line (e.g. log-space keys in the
+    // time-decay sampler), so only NaN thresholds are invalid here.
+    if (*k < 1 || std::isnan(*threshold) || *count > *k) return std::nullopt;
+    BottomK sketch(static_cast<size_t>(*k));
+    for (uint64_t i = 0; i < *count; ++i) {
+      const auto priority = r.ReadDouble();
+      const auto payload = PayloadCodec<Payload>::Read(r);
+      if (!priority || !payload.has_value()) return std::nullopt;
+      if (!(*priority < *threshold)) return std::nullopt;
+      sketch.Offer(*priority, *payload);
+    }
+    if (sketch.size() != *count) return std::nullopt;
+    sketch.LowerThreshold(*threshold);
+    return sketch;
+  }
+
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<BottomK> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<BottomK>(bytes);
+  }
+
  private:
-  size_t k_;
-  double threshold_ = kInfiniteThreshold;
-  std::vector<Entry> heap_;  // max-heap on priority; size <= k_
+  static constexpr uint32_t kMagic = 0x42544b32;  // "BTK2"
+  static constexpr uint32_t kVersion = 1;
+
+  SampleStore<Payload> store_;
 };
+
+static_assert(MergeableSketch<BottomK<uint64_t>>);
 
 // Priority sampling (weighted bottom-k) over keyed, weighted items.
 //
@@ -148,6 +189,13 @@ class PrioritySampler {
   // Feeds one weighted item.
   void Add(uint64_t key, double weight);
 
+  // Feeds a batch of weighted items: equivalent to calling Add() on each
+  // item in order (bit-identical state, including the RNG stream in
+  // independent mode), but priorities are computed into a dense column and
+  // offered through the store's pre-filtered batch path. Returns the
+  // number of retained items.
+  size_t AddBatch(std::span<const Item> items);
+
   // Current adaptive threshold tau.
   double Threshold() const { return sketch_.Threshold(); }
 
@@ -158,11 +206,53 @@ class PrioritySampler {
 
   const BottomK<Item>& sketch() const { return sketch_; }
 
+  // Merges a sampler over a disjoint stream (same k recommended); the
+  // merged sample is the bottom-k of the concatenated streams. Safe for
+  // self-merge (no-op).
+  void Merge(const PrioritySampler& other);
+
+  // Wire format. The RNG state travels with the sample so a restored
+  // independent sampler continues the exact same priority stream.
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<PrioritySampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<PrioritySampler> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<PrioritySampler>(bytes);
+  }
+
  private:
   BottomK<Item> sketch_;
   Xoshiro256 rng_;
   bool coordinated_;
+  // Scratch column for AddBatch (reused across calls to avoid allocation).
+  std::vector<double> batch_priorities_;
 };
+
+static_assert(MergeableSketch<PrioritySampler>);
+
+// Wire codec for weighted items, so PrioritySampler's sample nests inside
+// the generic BottomK frame (one copy of the entry validation logic).
+template <>
+struct PayloadCodec<PrioritySampler::Item> {
+  static void Write(ByteWriter& w, const PrioritySampler::Item& item) {
+    w.WriteU64(item.key);
+    w.WriteDouble(item.weight);
+  }
+  static std::optional<PrioritySampler::Item> Read(ByteReader& r) {
+    const auto key = r.ReadU64();
+    const auto weight = r.ReadDouble();
+    if (!key.has_value() || !weight || !(*weight > 0.0)) {
+      return std::nullopt;
+    }
+    return PrioritySampler::Item{*key, *weight};
+  }
+};
+
+// Estimator-ready entries (with inclusion probabilities at the store's
+// threshold) from a weighted-item store. Shared by PrioritySampler and
+// the sharded front-end.
+std::vector<SampleEntry> MakeWeightedSample(
+    const SampleStore<PrioritySampler::Item>& store);
 
 }  // namespace ats
 

@@ -12,6 +12,7 @@
 #ifndef ATS_CORE_RANDOM_H_
 #define ATS_CORE_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -57,6 +58,17 @@ class Xoshiro256 {
 
   // Uniform double in (0, 1]: never returns 0, so 1/x and -log(x) are safe.
   double NextDoubleOpenZero();
+
+  // Generator state snapshot/restore, used to serialize samplers whose
+  // priority stream must continue deterministically after a round trip.
+  std::array<uint64_t, 4> State() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+    have_gaussian_ = false;
+    cached_gaussian_ = 0.0;
+  }
 
   // Uniform integer in [0, n).
   uint64_t NextBelow(uint64_t n);

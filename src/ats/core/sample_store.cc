@@ -1,0 +1,19 @@
+#include "ats/core/sample_store.h"
+
+#include <numeric>
+
+namespace ats {
+namespace internal {
+
+std::vector<size_t> AscendingPriorityOrder(
+    const std::vector<double>& priorities) {
+  std::vector<size_t> order(priorities.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&priorities](size_t a, size_t b) {
+    return priorities[a] < priorities[b];
+  });
+  return order;
+}
+
+}  // namespace internal
+}  // namespace ats

@@ -1,0 +1,285 @@
+// Shared bottom-k sample store: the single retention engine behind every
+// adaptive-threshold sampler and sketch in the library (Sections 2.5, 2.7).
+//
+// The store keeps the k items with smallest priorities seen so far in
+// structure-of-arrays layout -- a `priority[]` column and a parallel
+// `payload[]` column kept in lockstep by a manual binary max-heap. The
+// adaptive threshold is the (k+1)-th smallest priority ever offered
+// (capped at an optional initial threshold), which is fully substitutable
+// (Theorem 6), so HT estimators can treat it as fixed.
+//
+// Why structure-of-arrays: the ingest hot path touches only priorities.
+// Once the store saturates, the overwhelming majority of offers fail the
+// `priority < threshold` test and must be rejected as cheaply as possible;
+// a dense double column lets the batched path scan candidates with
+// branch-free vectorizable compares and never pull payload bytes into
+// cache for rejected items.
+//
+// Every container that previously hand-rolled its own heap + threshold
+// (BottomK, PrioritySampler, KmvSketch, ThetaSketch via KMV, ...) now
+// delegates retention to this class.
+#ifndef ATS_CORE_SAMPLE_STORE_H_
+#define ATS_CORE_SAMPLE_STORE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ats/core/threshold.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+namespace internal {
+
+// Index permutation sorting `priorities` ascending. Non-template helper
+// shared by every SortedEntries()-style accessor (sample_store.cc).
+std::vector<size_t> AscendingPriorityOrder(
+    const std::vector<double>& priorities);
+
+// Bound on eager capacity reservation. Capacity k is a logical limit, not
+// a storage promise: wire formats carry arbitrary k, so reserving k
+// up front would let a hostile message allocate (or throw) unboundedly.
+inline constexpr size_t kMaxEagerReserve = 1 << 16;
+
+// Visits the indices j in [0, 64) whose priority is below the threshold
+// snapshot `t`, in ascending order. This is THE batched-ingest pre-filter:
+// one implementation of the SIMD-friendly block scan, shared by
+// SampleStore::OfferBatch and the hashing front-ends (KmvSketch::AddKeys).
+// Callers re-check the live threshold per candidate (Offer does this),
+// so using a snapshot is behavior-preserving: the threshold only
+// decreases, and items culled against the snapshot would also be
+// rejected, with no state change, one at a time.
+template <typename Visit>
+inline void VisitBlockCandidates(const double* priorities, double t,
+                                 Visit&& visit) {
+#if defined(__AVX2__)
+  // Candidate bitmap; the variable shift maps to vpsllvq, so the whole
+  // scan vectorizes. Set bits are visited in ascending index (stream)
+  // order -- required for exact equivalence with a scalar Offer loop
+  // when priorities tie (which payload survives is order-dependent).
+  uint64_t mask = 0;
+  for (size_t j = 0; j < 64; ++j) {
+    mask |= static_cast<uint64_t>(priorities[j] < t) << j;
+  }
+  while (mask != 0) {
+    const size_t j = static_cast<size_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    visit(j);
+  }
+#else
+  // Without AVX2 variable shifts, an any-hit OR-reduction (a plain SSE
+  // compare reduction) decides whether the block can be skipped
+  // wholesale; candidate blocks are rare once the store saturates.
+  int any = 0;
+  for (size_t j = 0; j < 64; ++j) {
+    any |= priorities[j] < t;
+  }
+  if (any) {
+    for (size_t j = 0; j < 64; ++j) {
+      if (priorities[j] < t) visit(j);
+    }
+  }
+#endif
+}
+
+}  // namespace internal
+
+template <typename Payload>
+class SampleStore {
+ public:
+  // k: retention capacity. `initial_threshold` pre-filters the stream
+  // (KMV-style sketches start at 1.0, the top of the unit interval;
+  // grouped sketches start at the current pool threshold; plain bottom-k
+  // starts unbounded).
+  explicit SampleStore(size_t k,
+                       double initial_threshold = kInfiniteThreshold)
+      : k_(k),
+        initial_threshold_(initial_threshold),
+        threshold_(initial_threshold) {
+    ATS_CHECK(k >= 1);
+    ATS_CHECK(initial_threshold > 0.0);
+    const size_t reserve = std::min(k, internal::kMaxEagerReserve);
+    priority_.reserve(reserve);
+    payload_.reserve(reserve);
+  }
+
+  // Offers one item. Returns true iff the item is retained. O(log k).
+  bool Offer(double priority, Payload payload) {
+    if (priority >= threshold_) return false;
+    const size_t n = priority_.size();
+    if (n < k_) {
+      priority_.push_back(priority);
+      payload_.push_back(std::move(payload));
+      SiftUp(n);
+      return true;
+    }
+    if (priority >= priority_[0]) {
+      // Not among the k smallest: it is a new (k+1)-th candidate.
+      threshold_ = std::min(threshold_, priority);
+      return false;
+    }
+    // Evict the current max; the evicted priority becomes the threshold.
+    threshold_ = std::min(threshold_, priority_[0]);
+    priority_[0] = priority;
+    payload_[0] = std::move(payload);
+    SiftDown(0);
+    return true;
+  }
+
+  // Batched ingest hot path. Exactly equivalent to calling Offer() on each
+  // (priority, payload) pair in order -- same final state, same acceptance
+  // count -- but pre-filters each 64-item block against the current
+  // threshold with a branch-free compare scan over the priority column, so
+  // rejected items never reach the heap or touch payload memory.
+  //
+  // Correctness of the pre-filter: the threshold only decreases, so items
+  // culled against the block-start snapshot `t` would also be rejected
+  // (with no state change) by a scalar Offer; survivors re-check the live
+  // threshold inside Offer.
+  size_t OfferBatch(std::span<const double> priorities,
+                    std::span<const Payload> payloads) {
+    ATS_CHECK(priorities.size() == payloads.size());
+    const size_t n = priorities.size();
+    size_t accepted = 0;
+    size_t i = 0;
+    // Warm-up: while underfull, (almost) everything is accepted anyway.
+    while (i < n && priority_.size() < k_) {
+      accepted += Offer(priorities[i], payloads[i]) ? 1 : 0;
+      ++i;
+    }
+    // Full 64-item blocks through the vector-friendly pre-filter.
+    for (; i + 64 <= n; i += 64) {
+      internal::VisitBlockCandidates(
+          priorities.data() + i, threshold_, [&](size_t j) {
+            accepted += Offer(priorities[i + j], payloads[i + j]) ? 1 : 0;
+          });
+    }
+    // Tail.
+    for (; i < n; ++i) {
+      accepted += Offer(priorities[i], payloads[i]) ? 1 : 0;
+    }
+    return accepted;
+  }
+
+  // The adaptive threshold: min(initial threshold, (k+1)-th smallest
+  // priority ever offered).
+  double Threshold() const { return threshold_; }
+
+  // True once the threshold has dropped below the initial threshold, i.e.
+  // at least one offer has been squeezed out by capacity.
+  bool saturated() const { return threshold_ < initial_threshold_; }
+
+  // Largest retained priority. Only valid when size() > 0.
+  double MaxRetainedPriority() const {
+    ATS_CHECK(!priority_.empty());
+    return priority_[0];
+  }
+
+  size_t size() const { return priority_.size(); }
+  size_t k() const { return k_; }
+  double initial_threshold() const { return initial_threshold_; }
+
+  // Raw columns in heap order. priorities()[i] pairs with payloads()[i].
+  const std::vector<double>& priorities() const { return priority_; }
+  const std::vector<Payload>& payloads() const { return payload_; }
+
+  // Index permutation visiting entries in ascending-priority order.
+  std::vector<size_t> SortedOrder() const {
+    return internal::AscendingPriorityOrder(priority_);
+  }
+
+  // Merges another store over a disjoint stream: the result is the store
+  // of the concatenated streams. The threshold is the min of both
+  // thresholds and of any priority evicted while merging. Merging a store
+  // with itself is a no-op (the union of a stream with itself).
+  void Merge(const SampleStore& other) {
+    if (&other == this) return;
+    initial_threshold_ =
+        std::min(initial_threshold_, other.initial_threshold_);
+    LowerThreshold(other.threshold_);
+    for (size_t i = 0; i < other.priority_.size(); ++i) {
+      if (other.priority_[i] < threshold_) {
+        Offer(other.priority_[i], other.payload_[i]);
+      }
+    }
+    // Offers above may have lowered the threshold further; restore the
+    // invariant "retained iff priority < threshold".
+    PurgeAboveThreshold();
+  }
+
+  // Removes retained entries with priority >= Threshold(). Needed after
+  // merges or external threshold reductions.
+  void PurgeAboveThreshold() {
+    if (threshold_ == kInfiniteThreshold) return;
+    size_t w = 0;
+    for (size_t i = 0; i < priority_.size(); ++i) {
+      if (priority_[i] < threshold_) {
+        if (w != i) {
+          priority_[w] = priority_[i];
+          payload_[w] = std::move(payload_[i]);
+        }
+        ++w;
+      }
+    }
+    priority_.resize(w);
+    payload_.resize(w);
+    Heapify();
+  }
+
+  // Externally lowers the threshold (threshold composition, merges);
+  // purges entries that fall outside.
+  void LowerThreshold(double t) {
+    if (t < threshold_) {
+      threshold_ = t;
+      PurgeAboveThreshold();
+    }
+  }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (priority_[parent] >= priority_[i]) break;
+      std::swap(priority_[parent], priority_[i]);
+      std::swap(payload_[parent], payload_[i]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = priority_.size();
+    for (;;) {
+      size_t largest = i;
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      if (l < n && priority_[l] > priority_[largest]) largest = l;
+      if (r < n && priority_[r] > priority_[largest]) largest = r;
+      if (largest == i) return;
+      std::swap(priority_[largest], priority_[i]);
+      std::swap(payload_[largest], payload_[i]);
+      i = largest;
+    }
+  }
+
+  void Heapify() {
+    const size_t n = priority_.size();
+    if (n < 2) return;
+    for (size_t i = n / 2; i-- > 0;) SiftDown(i);
+  }
+
+  size_t k_;
+  double initial_threshold_;
+  double threshold_;
+  // Parallel columns forming a max-heap on priority; size <= k_.
+  std::vector<double> priority_;
+  std::vector<Payload> payload_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_CORE_SAMPLE_STORE_H_

@@ -1,0 +1,102 @@
+// Sharded ingestion front-end for priority sampling (Section 2.5).
+//
+// Heavy streams are ingested by hash-partitioning keys across S
+// independent per-shard bottom-k samplers; each shard only ever touches
+// its own SampleStore, so shards can be fed from S threads (or S nodes)
+// with no synchronization. Because the shards use coordinated priorities
+// (priority = hash(key)-derived, Section 2.5) and the key partition makes
+// the per-shard streams disjoint, merging the per-shard samples with the
+// bottom-k union rule reproduces EXACTLY the sample and threshold a
+// single k-capacity store would have produced over the whole stream:
+// every one of the global bottom-k priorities is necessarily among its
+// own shard's bottom-k, and the merge threshold (min of shard thresholds
+// and merge evictions) recovers the global (k+1)-th smallest priority.
+// Substitutability (Theorem 6) then makes the merged threshold usable by
+// the plain HT estimators unchanged.
+//
+// In independent-priority mode the merged sample is a valid bottom-k
+// sample of the stream (unbiased HT estimates), just not bit-identical to
+// a particular single-store run.
+#ifndef ATS_CORE_SHARDED_SAMPLER_H_
+#define ATS_CORE_SHARDED_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ats/core/bottom_k.h"
+#include "ats/core/threshold.h"
+
+namespace ats {
+
+class ShardedSampler {
+ public:
+  using Item = PrioritySampler::Item;
+
+  // num_shards: number of independent per-shard samplers. k: sample
+  // capacity -- of every shard AND of the merged sample (per-shard k
+  // guarantees the merged bottom-k is exact; see header comment).
+  // `coordinated` selects hash-derived priorities (default; required for
+  // exact equivalence with a coordinated single store); `seed` drives
+  // per-shard RNGs in independent mode.
+  ShardedSampler(size_t num_shards, size_t k, bool coordinated = true,
+                 uint64_t seed = 1);
+
+  // Routes one item to its shard.
+  void Add(uint64_t key, double weight);
+
+  // Batched ingest: partitions the batch into per-shard runs, then feeds
+  // each shard through the pre-filtered SampleStore batch path. Returns
+  // the number of retained items.
+  size_t AddBatch(std::span<const Item> items);
+
+  // Feeds a pre-partitioned run straight into one shard. Every item must
+  // route to `shard` (checked in debug builds). Because each shard owns an
+  // independent store, concurrent calls for DIFFERENT shard indices are
+  // safe -- this is the entry point for S ingest threads.
+  size_t AddShardBatch(size_t shard, std::span<const Item> items);
+
+  // Shard index for a key (a salted hash independent of the priority
+  // hash, so shard routing does not bias per-shard priorities).
+  size_t ShardOf(uint64_t key) const;
+
+  // Merged bottom-k sample of the whole stream with per-item inclusion
+  // probabilities at the merged threshold; feeds the usual estimators.
+  std::vector<SampleEntry> Sample() const;
+
+  // The merged adaptive threshold (the global (k+1)-th smallest priority
+  // in coordinated mode).
+  double MergedThreshold() const;
+
+  // Sample and threshold from a single shard-union pass; use this when
+  // both are needed per query (Sample() + MergedThreshold() would merge
+  // twice).
+  struct MergedSample {
+    std::vector<SampleEntry> entries;
+    double threshold;
+  };
+  MergedSample Merged() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t k() const { return k_; }
+
+  // Total items currently retained across all shards (>= merged sample
+  // size; the merge re-caps at k).
+  size_t TotalRetained() const;
+
+  const PrioritySampler& shard(size_t i) const { return shards_[i]; }
+
+ private:
+  // Builds the k-capacity union of all shard stores.
+  BottomK<Item> MergeShards() const;
+
+  size_t k_;
+  uint64_t route_salt_;
+  std::vector<PrioritySampler> shards_;
+  // Per-shard scratch buffers reused across AddBatch calls.
+  std::vector<std::vector<Item>> batch_scratch_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_CORE_SHARDED_SAMPLER_H_

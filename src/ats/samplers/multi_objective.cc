@@ -27,7 +27,9 @@ void MultiObjectiveSampler::Add(uint64_t key,
 size_t MultiObjectiveSampler::CombinedSize() const {
   std::unordered_set<uint64_t> keys;
   for (const auto& sketch : sketches_) {
-    for (const auto& e : sketch.entries()) keys.insert(e.payload.key);
+    for (const Stored& item : sketch.store().payloads()) {
+      keys.insert(item.key);
+    }
   }
   return keys.size();
 }
@@ -43,13 +45,15 @@ std::vector<SampleEntry> MultiObjectiveSampler::Sample(
   const auto& sketch = sketches_[objective];
   std::vector<SampleEntry> out;
   out.reserve(sketch.size());
-  for (const auto& e : sketch.entries()) {
+  const auto& store = sketch.store();
+  for (size_t i = 0; i < store.size(); ++i) {
+    const Stored& item = store.payloads()[i];
     SampleEntry s;
-    s.key = e.payload.key;
-    s.value = e.payload.value;
-    s.priority = e.priority;
+    s.key = item.key;
+    s.value = item.value;
+    s.priority = store.priorities()[i];
     s.threshold = sketch.Threshold();
-    s.dist = PriorityDist::WeightedUniform(e.payload.weight);
+    s.dist = PriorityDist::WeightedUniform(item.weight);
     out.push_back(s);
   }
   return out;

@@ -22,8 +22,7 @@ std::vector<TimeDecaySampler::DecayedEntry> TimeDecaySampler::SampleAt(
   std::vector<DecayedEntry> out;
   out.reserve(sketch_.size());
   const double log_threshold = sketch_.Threshold();
-  for (const auto& e : sketch_.entries()) {
-    const Stored& s = e.payload;
+  for (const Stored& s : sketch_.store().payloads()) {
     DecayedEntry d;
     d.key = s.key;
     d.value = s.value;

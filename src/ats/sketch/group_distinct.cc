@@ -4,6 +4,11 @@
 
 #include "ats/util/check.h"
 
+namespace {
+constexpr uint32_t kGroupDistinctMagic = 0x47445332;  // "GDS2"
+constexpr uint32_t kGroupDistinctVersion = 1;
+}  // namespace
+
 namespace ats {
 
 namespace {
@@ -49,11 +54,6 @@ void GroupDistinctSketch::Add(uint64_t group, uint64_t key) {
 }
 
 void GroupDistinctSketch::MaybePromote(uint64_t group) {
-  // Demote the promoted group with the largest threshold.
-  auto victim = promoted_.begin();
-  for (auto it = promoted_.begin(); it != promoted_.end(); ++it) {
-    if (it->second.Threshold() > victim->second.Threshold()) victim = it;
-  }
   // Build the newcomer's sketch from its pool items; its items were
   // filtered at (past, larger) pool thresholds, so starting at the current
   // pool threshold is a valid per-sketch threshold.
@@ -61,16 +61,26 @@ void GroupDistinctSketch::MaybePromote(uint64_t group) {
   for (double p : pool_.at(group)) sketch.OfferPriority(p, /*key=*/0);
   pool_.erase(group);
 
-  // Demoted members return to the pool (subject to the pool threshold,
-  // re-checked by PurgePool below).
-  auto& demoted_samples = pool_[victim->first];
-  for (const auto& [priority, key] : victim->second.members()) {
-    demoted_samples.insert(priority);
-  }
-  promoted_.erase(victim);
+  DemoteLargestThreshold();
   promoted_.emplace(group, std::move(sketch));
 
   RecomputePoolThreshold();
+}
+
+void GroupDistinctSketch::DemoteLargestThreshold() {
+  ATS_CHECK(!promoted_.empty());
+  auto victim = promoted_.begin();
+  for (auto it = promoted_.begin(); it != promoted_.end(); ++it) {
+    if (it->second.Threshold() > victim->second.Threshold()) victim = it;
+  }
+  // The victim's sketch threshold can exceed the pool threshold after a
+  // merge, so keep only the (valid subsample of) items below it.
+  auto& samples = pool_[victim->first];
+  for (const auto& [priority, key] : victim->second.members()) {
+    if (priority < pool_threshold_) samples.insert(priority);
+  }
+  if (samples.empty()) pool_.erase(victim->first);
+  promoted_.erase(victim);
 }
 
 void GroupDistinctSketch::RecomputePoolThreshold() {
@@ -93,6 +103,61 @@ void GroupDistinctSketch::PurgePool() {
     samples.erase(samples.lower_bound(pool_threshold_), samples.end());
     it = samples.empty() ? pool_.erase(it) : std::next(it);
   }
+}
+
+void GroupDistinctSketch::Merge(const GroupDistinctSketch& other) {
+  if (&other == this) return;
+  ATS_CHECK(m_ == other.m_);
+  ATS_CHECK(k_ == other.k_);
+  ATS_CHECK(hash_salt_ == other.hash_salt_);
+
+  // The union pool threshold is the min of both sides' thresholds: every
+  // pool item on either side was filtered at a threshold >= it.
+  if (other.pool_threshold_ < pool_threshold_) {
+    pool_threshold_ = other.pool_threshold_;
+    PurgePool();
+  }
+
+  // Promoted sketches: per-group KMV merge when promoted on both sides,
+  // otherwise adopt a copy (demotion below re-enforces the m bound).
+  for (const auto& [group, sketch] : other.promoted_) {
+    auto it = promoted_.find(group);
+    if (it != promoted_.end()) {
+      it->second.Merge(sketch);
+      continue;
+    }
+    auto [nit, inserted] = promoted_.emplace(group, sketch);
+    // Fold any of our pool items for the adopted group into its sketch.
+    // Pool items are only complete below the pool threshold, so the
+    // sketch's theta must not exceed it or the estimate would undercount.
+    auto pl = pool_.find(group);
+    if (pl != pool_.end()) {
+      nit->second.LowerThreshold(pool_threshold_);
+      for (double p : pl->second) nit->second.OfferPriority(p, /*key=*/0);
+      pool_.erase(pl);
+    }
+  }
+  while (promoted_.size() > m_) DemoteLargestThreshold();
+
+  // Pool union, filtered at the (already lowered) union threshold.
+  for (const auto& [group, samples] : other.pool_) {
+    auto pit = promoted_.find(group);
+    if (pit != promoted_.end()) {
+      // The group is promoted here: its pool items fold into the sketch
+      // after capping theta at the pool threshold (same completeness
+      // argument as above; offers at/above theta are rejected).
+      pit->second.LowerThreshold(pool_threshold_);
+      for (double p : samples) pit->second.OfferPriority(p, /*key=*/0);
+      continue;
+    }
+    auto& mine = pool_[group];
+    for (double p : samples) {
+      if (p < pool_threshold_) mine.insert(p);
+    }
+    if (mine.empty()) pool_.erase(group);
+  }
+
+  RecomputePoolThreshold();
 }
 
 double GroupDistinctSketch::Estimate(uint64_t group) const {
@@ -119,6 +184,88 @@ std::vector<uint64_t> GroupDistinctSketch::GroupsWithSamples() const {
     if (!samples.empty()) out.push_back(group);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+void GroupDistinctSketch::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kGroupDistinctMagic, kGroupDistinctVersion);
+  w.WriteU64(m_);
+  w.WriteU64(k_);
+  w.WriteU64(hash_salt_);
+  w.WriteDouble(pool_threshold_);
+  // Promoted sketches in ascending group order for a canonical encoding.
+  std::map<uint64_t, const KmvSketch*> promoted_sorted;
+  for (const auto& [group, sketch] : promoted_) {
+    promoted_sorted.emplace(group, &sketch);
+  }
+  w.WriteU64(promoted_sorted.size());
+  for (const auto& [group, sketch] : promoted_sorted) {
+    w.WriteU64(group);
+    sketch->SerializeTo(w);
+  }
+  std::map<uint64_t, const std::set<double>*> pool_sorted;
+  for (const auto& [group, samples] : pool_) {
+    pool_sorted.emplace(group, &samples);
+  }
+  w.WriteU64(pool_sorted.size());
+  for (const auto& [group, samples] : pool_sorted) {
+    w.WriteU64(group);
+    w.WriteU64(samples->size());
+    for (double p : *samples) w.WriteDouble(p);
+  }
+}
+
+std::optional<GroupDistinctSketch> GroupDistinctSketch::Deserialize(
+    ByteReader& r) {
+  if (!ReadSketchHeader(r, kGroupDistinctMagic, kGroupDistinctVersion)) {
+    return std::nullopt;
+  }
+  const auto m = r.ReadU64();
+  const auto k = r.ReadU64();
+  const auto salt = r.ReadU64();
+  const auto pool_threshold = r.ReadDouble();
+  if (!m || !k || !salt.has_value() || !pool_threshold) return std::nullopt;
+  if (*m < 1 || *k < 1 || !(*pool_threshold > 0.0) ||
+      *pool_threshold > 1.0) {
+    return std::nullopt;
+  }
+  GroupDistinctSketch out(static_cast<size_t>(*m), static_cast<size_t>(*k),
+                          *salt);
+  out.pool_threshold_ = *pool_threshold;
+  const auto num_promoted = r.ReadU64();
+  if (!num_promoted || *num_promoted > *m) return std::nullopt;
+  for (uint64_t i = 0; i < *num_promoted; ++i) {
+    const auto group = r.ReadU64();
+    if (!group.has_value()) return std::nullopt;
+    auto sketch = KmvSketch::Deserialize(r);
+    if (!sketch || sketch->k() != out.k_ ||
+        sketch->hash_salt() != out.hash_salt_) {
+      return std::nullopt;
+    }
+    if (!out.promoted_.emplace(*group, std::move(*sketch)).second) {
+      return std::nullopt;  // duplicate group
+    }
+  }
+  const auto num_pool = r.ReadU64();
+  if (!num_pool) return std::nullopt;
+  for (uint64_t i = 0; i < *num_pool; ++i) {
+    const auto group = r.ReadU64();
+    const auto count = r.ReadU64();
+    if (!group.has_value() || !count || *count == 0) return std::nullopt;
+    if (out.promoted_.contains(*group) || out.pool_.contains(*group)) {
+      return std::nullopt;
+    }
+    auto& samples = out.pool_[*group];
+    double prev = 0.0;
+    for (uint64_t j = 0; j < *count; ++j) {
+      const auto p = r.ReadDouble();
+      if (!p) return std::nullopt;
+      // Ascending, distinct, below the pool threshold.
+      if (!(*p > prev) || *p >= out.pool_threshold_) return std::nullopt;
+      samples.insert(samples.end(), *p);
+      prev = *p;
+    }
+  }
   return out;
 }
 

@@ -16,16 +16,25 @@
 //
 // Estimates: promoted group -> its KMV estimate; pool group -> (#pool
 // items of the group) / T_max, an HT count at threshold T_max.
+//
+// The per-group sketches are SampleStore-backed KMV sketches, and the
+// whole structure satisfies the MergeableSketch interface: Merge() takes
+// the union of two grouped sketches (min pool threshold, per-group KMV
+// merges) and the wire format nests the member sketches' bytes.
 #ifndef ATS_SKETCH_GROUP_DISTINCT_H_
 #define ATS_SKETCH_GROUP_DISTINCT_H_
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -57,10 +66,34 @@ class GroupDistinctSketch {
   // All groups that currently have at least one sampled item.
   std::vector<uint64_t> GroupsWithSamples() const;
 
+  // Union of two grouped sketches over the same (m, k, salt) parameters:
+  // per-group KMV merges for groups promoted on both sides, adoption plus
+  // demotion down to m otherwise, and pool union at the min pool
+  // threshold. Estimates on the merged sketch remain valid HT counts.
+  // Self-merge is a no-op.
+  void Merge(const GroupDistinctSketch& other);
+
+  size_t m() const { return m_; }
+  size_t k() const { return k_; }
+  uint64_t hash_salt() const { return hash_salt_; }
+
+  // Wire format: versioned header, parameters, nested promoted KMV
+  // sketches, then the pool.
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<GroupDistinctSketch> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<GroupDistinctSketch> Deserialize(
+      std::string_view bytes) {
+    return DeserializeSketch<GroupDistinctSketch>(bytes);
+  }
+
  private:
   void RecomputePoolThreshold();
   void PurgePool();
   void MaybePromote(uint64_t group);
+  // Moves the promoted sketch with the largest threshold back to the pool
+  // (keeping only items below the pool threshold).
+  void DemoteLargestThreshold();
 
   size_t m_;
   size_t k_;
@@ -70,6 +103,8 @@ class GroupDistinctSketch {
   // Pool: group -> set of retained hash priorities (dedup per group).
   std::unordered_map<uint64_t, std::set<double>> pool_;
 };
+
+static_assert(MergeableSketch<GroupDistinctSketch>);
 
 }  // namespace ats
 

@@ -1,17 +1,16 @@
 #include "ats/sketch/kmv.h"
 
 #include "ats/util/check.h"
-#include "ats/util/serialize.h"
 
 namespace {
-constexpr uint32_t kKmvMagic = 0x4b4d5601;  // "KMV" + version 1
+constexpr uint32_t kKmvMagic = 0x4b4d5632;  // "KMV2"
+constexpr uint32_t kKmvVersion = 1;
 }  // namespace
 
 namespace ats {
 
 KmvSketch::KmvSketch(size_t k, double initial_threshold, uint64_t hash_salt)
-    : k_(k), threshold_(initial_threshold), hash_salt_(hash_salt) {
-  ATS_CHECK(k >= 1);
+    : hash_salt_(hash_salt), store_(k, initial_threshold) {
   ATS_CHECK(initial_threshold > 0.0 && initial_threshold <= 1.0);
 }
 
@@ -19,82 +18,116 @@ bool KmvSketch::AddKey(uint64_t key) {
   return OfferPriority(HashToUnit(HashKey(key, hash_salt_)), key);
 }
 
-bool KmvSketch::OfferPriority(double priority, uint64_t key) {
-  if (priority >= threshold_) return false;
-  const auto it = members_.find(priority);
-  if (it != members_.end()) return true;  // duplicate key
-  members_.emplace(priority, key);
-  if (members_.size() > k_) EvictTop();
-  return priority < threshold_;
+size_t KmvSketch::AddKeys(std::span<const uint64_t> keys) {
+  size_t retained = 0;
+  size_t i = 0;
+  double priorities[64];
+  // Full blocks: hash into a dense column, then cull against the
+  // threshold with the shared pre-filter scan before the per-item
+  // duplicate check (OfferPriority re-checks the live threshold).
+  for (; i + 64 <= keys.size(); i += 64) {
+    for (size_t j = 0; j < 64; ++j) {
+      priorities[j] = HashToUnit(HashKey(keys[i + j], hash_salt_));
+    }
+    internal::VisitBlockCandidates(
+        priorities, store_.Threshold(), [&](size_t j) {
+          retained += OfferPriority(priorities[j], keys[i + j]) ? 1 : 0;
+        });
+  }
+  for (; i < keys.size(); ++i) {
+    retained += AddKey(keys[i]) ? 1 : 0;
+  }
+  return retained;
 }
 
-void KmvSketch::EvictTop() {
-  const auto top = std::prev(members_.end());
-  threshold_ = top->first;
-  saturated_ = true;
-  members_.erase(top);
+bool KmvSketch::OfferPriority(double priority, uint64_t key) {
+  if (priority >= store_.Threshold()) return false;
+  if (!seen_.insert(std::bit_cast<uint64_t>(priority)).second) {
+    return true;  // duplicate key: already retained (it is below theta)
+  }
+  const bool retained = store_.Offer(priority, key);
+  // Evicted priorities in seen_ are harmless (they sit at/above theta and
+  // are rejected before the set is consulted) but they accumulate over a
+  // long stream; rebuilding from the retained set once the slack exceeds
+  // ~k keeps memory at O(k) with amortized O(1) cost per accepted offer.
+  if (seen_.size() > 2 * store_.size() + 64) CompactSeen();
+  return retained;
+}
+
+void KmvSketch::CompactSeen() {
+  seen_.clear();
+  for (double p : store_.priorities()) {
+    seen_.insert(std::bit_cast<uint64_t>(p));
+  }
 }
 
 double KmvSketch::Estimate() const {
-  return static_cast<double>(members_.size()) / threshold_;
+  return static_cast<double>(store_.size()) / store_.Threshold();
 }
 
-std::string KmvSketch::SerializeToString() const {
-  ByteWriter w;
-  w.WriteU32(kKmvMagic);
-  w.WriteU64(k_);
+std::vector<std::pair<double, uint64_t>> KmvSketch::members() const {
+  std::vector<std::pair<double, uint64_t>> out;
+  out.reserve(store_.size());
+  for (size_t i : store_.SortedOrder()) {
+    out.emplace_back(store_.priorities()[i], store_.payloads()[i]);
+  }
+  return out;
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  if (&other == this) return;
+  ATS_CHECK(hash_salt_ == other.hash_salt_);
+  store_.LowerThreshold(other.Threshold());
+  // Per-item offers (not a raw store merge): coordinated hashing means the
+  // same key appears with the same priority in both sketches, and
+  // OfferPriority suppresses those duplicates.
+  for (size_t i = 0; i < other.store_.size(); ++i) {
+    OfferPriority(other.store_.priorities()[i], other.store_.payloads()[i]);
+  }
+  store_.PurgeAboveThreshold();
+}
+
+void KmvSketch::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kKmvMagic, kKmvVersion);
+  w.WriteU64(store_.k());
   w.WriteU64(hash_salt_);
-  w.WriteDouble(threshold_);
-  w.WriteU32(saturated_ ? 1 : 0);
-  w.WriteU64(members_.size());
-  for (const auto& [priority, key] : members_) {
+  w.WriteDouble(store_.initial_threshold());
+  w.WriteDouble(store_.Threshold());
+  w.WriteU64(store_.size());
+  for (const auto& [priority, key] : members()) {
     w.WriteDouble(priority);
     w.WriteU64(key);
   }
-  return w.Take();
 }
 
-std::optional<KmvSketch> KmvSketch::Deserialize(std::string_view bytes) {
-  ByteReader r(bytes);
-  const auto magic = r.ReadU32();
-  if (!magic || *magic != kKmvMagic) return std::nullopt;
+std::optional<KmvSketch> KmvSketch::Deserialize(ByteReader& r) {
+  if (!ReadSketchHeader(r, kKmvMagic, kKmvVersion)) return std::nullopt;
   const auto k = r.ReadU64();
   const auto salt = r.ReadU64();
+  const auto initial = r.ReadDouble();
   const auto threshold = r.ReadDouble();
-  const auto saturated = r.ReadU32();
   const auto count = r.ReadU64();
-  if (!k || !salt || !threshold || !saturated || !count) return std::nullopt;
-  if (*k < 1 || *threshold <= 0.0 || *threshold > 1.0 || *count > *k) {
+  if (!k || !salt.has_value() || !initial || !threshold || !count) {
     return std::nullopt;
   }
-  KmvSketch sketch(*k, 1.0, *salt);
-  sketch.threshold_ = *threshold;
-  sketch.saturated_ = *saturated != 0;
+  if (*k < 1 || !(*initial > 0.0) || *initial > 1.0 ||
+      !(*threshold > 0.0) || *threshold > *initial || *count > *k) {
+    return std::nullopt;
+  }
+  KmvSketch sketch(static_cast<size_t>(*k), *initial, *salt);
   for (uint64_t i = 0; i < *count; ++i) {
     const auto priority = r.ReadDouble();
     const auto key = r.ReadU64();
     if (!priority || !key.has_value()) return std::nullopt;
-    if (*priority <= 0.0 || *priority >= *threshold) return std::nullopt;
-    sketch.members_.emplace(*priority, *key);
-  }
-  if (!r.AtEnd() || sketch.members_.size() != *count) return std::nullopt;
-  return sketch;
-}
-
-void KmvSketch::Merge(const KmvSketch& other) {
-  ATS_CHECK(hash_salt_ == other.hash_salt_);
-  if (other.threshold_ < threshold_) {
-    threshold_ = other.threshold_;
-    saturated_ = saturated_ || other.saturated_;
-    // Purge members at/above the lowered threshold.
-    while (!members_.empty() &&
-           std::prev(members_.end())->first >= threshold_) {
-      members_.erase(std::prev(members_.end()));
+    if (!(*priority > 0.0) || *priority >= *threshold) return std::nullopt;
+    if (!sketch.seen_.insert(std::bit_cast<uint64_t>(*priority)).second) {
+      return std::nullopt;  // duplicate priority in the wire payload
     }
+    sketch.store_.Offer(*priority, *key);
   }
-  for (const auto& [priority, key] : other.members_) {
-    OfferPriority(priority, key);
-  }
+  if (sketch.size() != *count) return std::nullopt;
+  sketch.store_.LowerThreshold(*threshold);
+  return sketch;
 }
 
 }  // namespace ats

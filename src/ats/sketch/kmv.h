@@ -11,18 +11,27 @@
 // with WeightedUniform priorities (R = U/w), the same structure samples
 // paying users proportionally to spend while N_hat = sum_i 1/F_i(w_i T)
 // still estimates the total population.
+//
+// Retention is delegated to the shared SampleStore (keys are the payload
+// column); this class adds coordinated hashing, duplicate suppression,
+// and the MergeableSketch wire format.
 #ifndef ATS_SKETCH_KMV_H_
 #define ATS_SKETCH_KMV_H_
 
+#include <bit>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ats/core/random.h"
+#include "ats/core/sample_store.h"
 #include "ats/core/threshold.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -39,49 +48,73 @@ class KmvSketch {
   // is currently retained.
   bool AddKey(uint64_t key);
 
+  // Batched ingest: equivalent to calling AddKey() on each key in order,
+  // but hashes into a dense priority column and block-filters against the
+  // threshold before touching the store. Returns the number of keys whose
+  // priority is retained afterwards (duplicates of retained keys count).
+  size_t AddKeys(std::span<const uint64_t> keys);
+
   // Feeds a pre-computed unit-interval priority directly (used by merges
   // and by weighted variants). Duplicate priorities are treated as
   // duplicate keys.
   bool OfferPriority(double priority, uint64_t key);
 
   // Current threshold theta in (0, 1].
-  double Threshold() const { return threshold_; }
+  double Threshold() const { return store_.Threshold(); }
 
   // Number of retained distinct priorities.
-  size_t size() const { return members_.size(); }
+  size_t size() const { return store_.size(); }
 
-  bool saturated() const { return saturated_; }
+  bool saturated() const { return store_.saturated(); }
 
   // Unbiased distinct-count estimate: size / theta.
   double Estimate() const;
 
   // Retained (priority, key) pairs, ascending by priority.
-  const std::map<double, uint64_t>& members() const { return members_; }
+  std::vector<std::pair<double, uint64_t>> members() const;
 
   // Merges another KMV sketch over the SAME key universe hashing (same
   // salt): the result is the KMV sketch of the union of the streams, with
   // threshold min(theta_a, theta_b, merge evictions). This is the basic
-  // bottom-k union baseline of Figure 4.
+  // bottom-k union baseline of Figure 4. Self-merge is a no-op.
   void Merge(const KmvSketch& other);
 
-  uint64_t hash_salt() const { return hash_salt_; }
-  size_t k() const { return k_; }
+  // Externally lowers theta (threshold composition, grouped merges);
+  // purges members at/above the new threshold. The estimate stays a valid
+  // HT count at the lowered threshold.
+  void LowerThreshold(double t) { store_.LowerThreshold(t); }
 
-  // Wire format for shipping sketches between nodes: magic/version header
-  // plus the full sketch state. Deserialize returns nullopt on corrupt or
-  // foreign input.
-  std::string SerializeToString() const;
-  static std::optional<KmvSketch> Deserialize(std::string_view bytes);
+  uint64_t hash_salt() const { return hash_salt_; }
+  size_t k() const { return store_.k(); }
+
+  const SampleStore<uint64_t>& store() const { return store_; }
+
+  // Wire format for shipping sketches between nodes: versioned magic
+  // header plus the full sketch state. Deserialize returns nullopt on
+  // corrupt or foreign input.
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<KmvSketch> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<KmvSketch> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<KmvSketch>(bytes);
+  }
 
  private:
-  void EvictTop();
+  // Rebuilds seen_ from the retained priorities, shedding evicted ones.
+  void CompactSeen();
 
-  size_t k_;
-  double threshold_;
-  bool saturated_ = false;
   uint64_t hash_salt_;
-  std::map<double, uint64_t> members_;  // priority -> key, ascending
+  SampleStore<uint64_t> store_;  // priority column + key payload column
+  // Priorities accepted below the threshold (bit patterns), for O(1)
+  // duplicate-key suppression. May hold stale (since-evicted) priorities:
+  // an evicted priority is >= the current threshold, so it is rejected
+  // before the set is ever consulted -- staleness is harmless, and
+  // OfferPriority compacts the set whenever the stale slack exceeds ~k,
+  // keeping memory at O(k).
+  std::unordered_set<uint64_t> seen_;
 };
+
+static_assert(MergeableSketch<KmvSketch>);
 
 }  // namespace ats
 

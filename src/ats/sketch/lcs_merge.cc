@@ -2,10 +2,9 @@
 
 #include <algorithm>
 
-#include "ats/util/serialize.h"
-
 namespace {
-constexpr uint32_t kLcsMagic = 0x4c435301;  // "LCS" + version 1
+constexpr uint32_t kLcsMagic = 0x4c435332;  // "LCS2"
+constexpr uint32_t kLcsVersion = 1;
 }  // namespace
 
 namespace ats {
@@ -20,27 +19,24 @@ LcsSketch LcsSketch::FromKmv(const KmvSketch& kmv) {
 }
 
 void LcsSketch::Merge(const LcsSketch& other) {
+  if (&other == this) return;
   for (const auto& [priority, threshold] : other.items_) {
     auto [it, inserted] = items_.emplace(priority, threshold);
     if (!inserted) it->second = std::max(it->second, threshold);
   }
 }
 
-std::string LcsSketch::SerializeToString() const {
-  ByteWriter w;
-  w.WriteU32(kLcsMagic);
+void LcsSketch::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kLcsMagic, kLcsVersion);
   w.WriteU64(items_.size());
   for (const auto& [priority, threshold] : items_) {
     w.WriteDouble(priority);
     w.WriteDouble(threshold);
   }
-  return w.Take();
 }
 
-std::optional<LcsSketch> LcsSketch::Deserialize(std::string_view bytes) {
-  ByteReader r(bytes);
-  const auto magic = r.ReadU32();
-  if (!magic || *magic != kLcsMagic) return std::nullopt;
+std::optional<LcsSketch> LcsSketch::Deserialize(ByteReader& r) {
+  if (!ReadSketchHeader(r, kLcsMagic, kLcsVersion)) return std::nullopt;
   const auto count = r.ReadU64();
   if (!count) return std::nullopt;
   LcsSketch sketch;
@@ -53,7 +49,7 @@ std::optional<LcsSketch> LcsSketch::Deserialize(std::string_view bytes) {
     }
     sketch.items_.emplace(*priority, *threshold);
   }
-  if (!r.AtEnd() || sketch.items_.size() != *count) return std::nullopt;
+  if (sketch.items_.size() != *count) return std::nullopt;
   return sketch;
 }
 

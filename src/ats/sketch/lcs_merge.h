@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -36,7 +37,7 @@ class LcsSketch {
   static LcsSketch FromKmv(const KmvSketch& kmv);
 
   // Merges this sketch with another (union semantics): per-item thresholds
-  // are maxed for hashes in both samples.
+  // are maxed for hashes in both samples. Self-merge is a no-op.
   void Merge(const LcsSketch& other);
 
   // Union distinct-count estimate: sum over retained hashes of 1/T'_h.
@@ -49,12 +50,18 @@ class LcsSketch {
 
   // Wire format (per-item thresholds travel with the sample, so merges
   // chain across serialization boundaries).
-  std::string SerializeToString() const;
-  static std::optional<LcsSketch> Deserialize(std::string_view bytes);
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<LcsSketch> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<LcsSketch> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<LcsSketch>(bytes);
+  }
 
  private:
   std::map<double, double> items_;  // priority -> per-item threshold
 };
+
+static_assert(MergeableSketch<LcsSketch>);
 
 }  // namespace ats
 

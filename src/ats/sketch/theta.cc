@@ -1,6 +1,14 @@
 #include "ats/sketch/theta.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "ats/util/check.h"
+
+namespace {
+constexpr uint32_t kThetaMagic = 0x54485432;  // "THT2"
+constexpr uint32_t kThetaVersion = 1;
+}  // namespace
 
 namespace ats {
 
@@ -53,6 +61,57 @@ ThetaSketch ThetaSketch::Union(
     }
   }
   return out;
+}
+
+void ThetaSketch::Merge(const ThetaSketch& other) {
+  if (&other == this) return;
+  // Stream sketches must share the key-universe hashing; a union result
+  // no longer carries a salt (its inputs were already checked).
+  if (!union_mode_ && !other.union_mode_) {
+    ATS_CHECK(kmv_.hash_salt() == other.kmv_.hash_salt());
+  }
+  *this = Union({this, &other});
+}
+
+void ThetaSketch::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kThetaMagic, kThetaVersion);
+  w.WriteU32(union_mode_ ? 1 : 0);
+  if (!union_mode_) {
+    kmv_.SerializeTo(w);
+    return;
+  }
+  w.WriteDouble(union_theta_);
+  w.WriteU64(union_retained_.size());
+  for (double p : union_retained_) w.WriteDouble(p);
+}
+
+std::optional<ThetaSketch> ThetaSketch::Deserialize(ByteReader& r) {
+  if (!ReadSketchHeader(r, kThetaMagic, kThetaVersion)) return std::nullopt;
+  const auto union_mode = r.ReadU32();
+  if (!union_mode) return std::nullopt;
+  ThetaSketch sketch;
+  if (*union_mode == 0) {
+    auto kmv = KmvSketch::Deserialize(r);
+    if (!kmv) return std::nullopt;
+    sketch.union_mode_ = false;
+    sketch.kmv_ = std::move(*kmv);
+    return sketch;
+  }
+  const auto theta = r.ReadDouble();
+  const auto count = r.ReadU64();
+  if (!theta || !count) return std::nullopt;
+  if (!(*theta > 0.0) || *theta > 1.0) return std::nullopt;
+  double prev = 0.0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    const auto p = r.ReadDouble();
+    if (!p) return std::nullopt;
+    // Ascending, distinct, strictly inside (0, theta).
+    if (!(*p > prev) || *p >= *theta) return std::nullopt;
+    sketch.union_retained_.insert(sketch.union_retained_.end(), *p);
+    prev = *p;
+  }
+  sketch.union_theta_ = *theta;
+  return sketch;
 }
 
 }  // namespace ats

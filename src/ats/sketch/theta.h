@@ -7,14 +7,23 @@
 // the result may hold more than k hashes and is NOT re-capped. The union
 // estimate is (#retained)/theta. This "1-goodness" merge is the baseline
 // the generalized LCS merge of Section 3.5 (lcs_merge.h) improves upon.
+//
+// Stream mode delegates retention to the shared SampleStore via the KMV
+// sketch; union mode holds the (uncapped) merged retained set directly.
+// Merge() applies the Theta union rule pairwise, so the sketch satisfies
+// the common MergeableSketch interface and ships between nodes.
 #ifndef ATS_SKETCH_THETA_H_
 #define ATS_SKETCH_THETA_H_
 
 #include <cstdint>
+#include <optional>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -35,11 +44,26 @@ class ThetaSketch {
   // below it, no re-capping).
   static ThetaSketch Union(const std::vector<const ThetaSketch*>& inputs);
 
+  // Pairwise Theta union in place: this becomes the union of this and
+  // `other` (the result is in union mode). Self-merge is a no-op.
+  void Merge(const ThetaSketch& other);
+
+  bool union_mode() const { return union_mode_; }
+
   // Retained hash priorities (ascending).
   std::vector<double> RetainedPriorities() const;
 
+  // Wire format: versioned magic header, mode flag, then either the
+  // embedded KMV stream sketch or the union (theta, retained set).
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<ThetaSketch> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<ThetaSketch> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<ThetaSketch>(bytes);
+  }
+
  private:
-  ThetaSketch();  // for Union results
+  ThetaSketch();  // for Union / Deserialize results
 
   // Exactly one of these is active: stream mode wraps a KMV sketch; union
   // mode holds the merged retained set directly.
@@ -48,6 +72,8 @@ class ThetaSketch {
   double union_theta_ = 1.0;
   std::set<double> union_retained_;
 };
+
+static_assert(MergeableSketch<ThetaSketch>);
 
 }  // namespace ats
 

@@ -1,14 +1,29 @@
-// Minimal byte-buffer serialization used by the sketches that get shipped
-// between nodes (KMV / Theta / LCS). Fixed-width little-endian encoding,
-// header-checked, no allocations beyond the output string.
+// Byte-buffer serialization and the common mergeable-sketch interface.
+//
+// Every sketch that ships between nodes (KMV / Theta / LCS / grouped /
+// priority samples) speaks the same tiny wire protocol: fixed-width
+// little-endian fields behind a versioned magic header, written through
+// ByteWriter and validated field-by-field through ByteReader (every
+// accessor returns nullopt on truncation so corrupt inputs fail cleanly
+// instead of crashing).
+//
+// The MergeableSketch concept pins down the contract those sketches share:
+//   * SerializeTo(ByteWriter&)       -- append wire bytes (embeddable)
+//   * static Deserialize(ByteReader&) -- parse + validate, nullopt on junk
+//   * Merge(const T&)                -- union with another instance
+// Sketches satisfying the concept compose: a container sketch can embed a
+// member sketch's bytes verbatim, and the generic SerializeSketch /
+// DeserializeSketch helpers provide whole-buffer (exact-length) framing.
 #ifndef ATS_UTIL_SERIALIZE_H_
 #define ATS_UTIL_SERIALIZE_H_
 
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace ats {
 
@@ -54,6 +69,79 @@ class ByteReader {
   std::string_view bytes_;
   size_t pos_ = 0;
 };
+
+// --- Versioned magic header -------------------------------------------
+
+// Every sketch wire format starts with an 8-byte header: a 4-byte magic
+// tag identifying the sketch family, then a 4-byte format version.
+inline void WriteSketchHeader(ByteWriter& w, uint32_t magic,
+                              uint32_t version) {
+  w.WriteU32(magic);
+  w.WriteU32(version);
+}
+
+// Consumes and validates a header. Returns the version on success;
+// nullopt on truncation, foreign magic, version 0, or a version newer
+// than `max_version` (a reader never parses formats from the future).
+inline std::optional<uint32_t> ReadSketchHeader(ByteReader& r,
+                                                uint32_t magic,
+                                                uint32_t max_version) {
+  const auto m = r.ReadU32();
+  if (!m || *m != magic) return std::nullopt;
+  const auto v = r.ReadU32();
+  if (!v || *v == 0 || *v > max_version) return std::nullopt;
+  return v;
+}
+
+// --- The common mergeable-sketch interface ----------------------------
+
+template <typename T>
+concept MergeableSketch =
+    requires(T t, const T& other, ByteWriter& w, ByteReader& r) {
+      { std::as_const(t).SerializeTo(w) } -> std::same_as<void>;
+      { T::Deserialize(r) } -> std::same_as<std::optional<T>>;
+      { t.Merge(other) } -> std::same_as<void>;
+    };
+
+// FNV-1a over a byte span; the whole-buffer framing below appends it so
+// any flipped byte is caught, not only the ones field validation can see.
+inline uint32_t FrameChecksum(std::string_view bytes) {
+  uint32_t h = 2166136261u;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// Whole-buffer framing: serialize a sketch into an owned byte string with
+// a trailing checksum over the sketch bytes (nested sketches embedded via
+// SerializeTo are covered by the outer frame).
+template <MergeableSketch T>
+std::string SerializeSketch(const T& sketch) {
+  ByteWriter w;
+  sketch.SerializeTo(w);
+  std::string bytes = w.Take();
+  const uint32_t checksum = FrameChecksum(bytes);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
+}
+
+// Whole-buffer parsing: the checksum must match and the sketch must
+// consume the buffer exactly (trailing junk is a framing error, not a
+// valid message).
+template <MergeableSketch T>
+std::optional<T> DeserializeSketch(std::string_view bytes) {
+  if (bytes.size() < sizeof(uint32_t)) return std::nullopt;
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  uint32_t stored;
+  std::memcpy(&stored, bytes.data() + body.size(), sizeof(stored));
+  if (stored != FrameChecksum(body)) return std::nullopt;
+  ByteReader r(body);
+  auto sketch = T::Deserialize(r);
+  if (!sketch.has_value() || !r.AtEnd()) return std::nullopt;
+  return sketch;
+}
 
 }  // namespace ats
 

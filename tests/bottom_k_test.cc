@@ -180,5 +180,56 @@ TEST(PrioritySampler, CoordinatedSamplesShareItems) {
   EXPECT_NE(keys(a), keys(c));
 }
 
+TEST(BottomK, SelfMergeIsANoOp) {
+  // Regression: Merge(*this) used to mutate the heap while iterating it.
+  Xoshiro256 rng(21);
+  BottomK<int> sketch(8);
+  for (int i = 0; i < 200; ++i) sketch.Offer(rng.NextDoubleOpenZero(), i);
+  const auto before = sketch.SortedEntries();
+  const double threshold_before = sketch.Threshold();
+
+  sketch.Merge(sketch);
+
+  EXPECT_DOUBLE_EQ(sketch.Threshold(), threshold_before);
+  const auto after = sketch.SortedEntries();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after[i].priority, before[i].priority);
+    EXPECT_EQ(after[i].payload, before[i].payload);
+  }
+}
+
+TEST(BottomK, MergeThroughReferenceAliasIsSafe) {
+  BottomK<int> sketch(4);
+  for (int i = 0; i < 50; ++i) sketch.Offer(0.01 * (i + 1), i);
+  const BottomK<int>& alias = sketch;
+  const size_t size_before = sketch.size();
+  sketch.Merge(alias);
+  EXPECT_EQ(sketch.size(), size_before);
+}
+
+TEST(BottomK, OfferBatchMatchesScalarOffers) {
+  Xoshiro256 rng(22);
+  std::vector<double> priorities(4000);
+  std::vector<int> payloads(4000);
+  for (size_t i = 0; i < priorities.size(); ++i) {
+    priorities[i] = rng.NextDoubleOpenZero();
+    payloads[i] = static_cast<int>(i);
+  }
+  BottomK<int> scalar(32), batched(32);
+  for (size_t i = 0; i < priorities.size(); ++i) {
+    scalar.Offer(priorities[i], payloads[i]);
+  }
+  batched.OfferBatch(priorities, payloads);
+  EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
+  const auto a = batched.SortedEntries();
+  const auto b = scalar.SortedEntries();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].priority, b[i].priority);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+  }
+}
+
 }  // namespace
 }  // namespace ats

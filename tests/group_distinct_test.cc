@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -128,6 +130,78 @@ TEST(GroupDistinct, DuplicateKeysDoNotInflate) {
     for (uint64_t i = 0; i < 10; ++i) sketch.Add(0, i);
   }
   EXPECT_DOUBLE_EQ(sketch.Estimate(0), 10.0);
+}
+
+TEST(GroupDistinct, MergeOfDisjointShardsKeepsEstimatesAccurate) {
+  // Two workers each see half of every group's keys; the merged sketch
+  // must estimate the union sizes about as well as a single sketch that
+  // saw everything.
+  const size_t m = 8, k = 64;
+  GroupDistinctSketch a(m, k, 3), b(m, k, 3), whole(m, k, 3);
+  Xoshiro256 rng(29);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t g = 0; g < 20; ++g) {
+    const uint64_t n = 50 + 400 * g;  // group sizes 50 .. 7650
+    truth[g] = n;
+    for (uint64_t i = 0; i < n; ++i) {
+      whole.Add(g, i);
+      (i % 2 == 0 ? a : b).Add(g, i);
+    }
+  }
+  a.Merge(b);
+  for (const auto& [g, n] : truth) {
+    const double merged_est = a.Estimate(g);
+    const double whole_est = whole.Estimate(g);
+    if (whole_est == 0.0) continue;  // below resolution in both
+    // Merged estimate within 50% of truth for groups the single sketch
+    // also resolves (both are HT counts with sd ~ n/sqrt(k)).
+    EXPECT_NEAR(merged_est, double(n), 0.5 * double(n) + 40.0)
+        << "group " << g << " whole=" << whole_est;
+  }
+}
+
+TEST(GroupDistinct, SelfMergeIsANoOp) {
+  GroupDistinctSketch sketch(2, 16, 1);
+  for (uint64_t g = 0; g < 5; ++g) {
+    for (uint64_t i = 0; i < 100 * (g + 1); ++i) sketch.Add(g, i);
+  }
+  const double before0 = sketch.Estimate(0);
+  const double before4 = sketch.Estimate(4);
+  const size_t stored = sketch.StoredItems();
+  sketch.Merge(sketch);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(0), before0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(4), before4);
+  EXPECT_EQ(sketch.StoredItems(), stored);
+}
+
+TEST(GroupDistinct, SerializeRoundTripPreservesEstimates) {
+  GroupDistinctSketch sketch(4, 32, 7);
+  ZipfGenerator groups(200, 1.2, 31);
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 20000; ++i) sketch.Add(groups.Next(), rng.Next());
+
+  const auto restored =
+      GroupDistinctSketch::Deserialize(sketch.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->PoolThreshold(), sketch.PoolThreshold());
+  EXPECT_EQ(restored->StoredItems(), sketch.StoredItems());
+  for (uint64_t g : sketch.GroupsWithSamples()) {
+    EXPECT_DOUBLE_EQ(restored->Estimate(g), sketch.Estimate(g));
+  }
+}
+
+TEST(GroupDistinct, DeserializeRejectsCorruptInput) {
+  GroupDistinctSketch sketch(2, 8, 1);
+  for (uint64_t i = 0; i < 500; ++i) sketch.Add(i % 5, i);
+  const std::string bytes = sketch.SerializeToString();
+  EXPECT_FALSE(GroupDistinctSketch::Deserialize("").has_value());
+  EXPECT_FALSE(GroupDistinctSketch::Deserialize(
+                   std::string_view(bytes).substr(0, 15))
+                   .has_value());
+  EXPECT_FALSE(GroupDistinctSketch::Deserialize(bytes + "x").has_value());
+  std::string bad = bytes;
+  bad[1] ^= 0x40;
+  EXPECT_FALSE(GroupDistinctSketch::Deserialize(bad).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Tests for ats/core/sample_store.h: the shared SoA bottom-k retention
+// engine. Covers batched-vs-scalar offer equivalence (the OfferBatch
+// pre-filter must be a pure optimization), threshold primitives, and
+// aliasing-safe merges.
+#include "ats/core/sample_store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/random.h"
+
+namespace ats {
+namespace {
+
+std::vector<double> RandomPriorities(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (double& p : out) p = rng.NextDoubleOpenZero();
+  return out;
+}
+
+std::vector<uint64_t> Ids(size_t n) {
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+// Sorted (priority, payload) pairs for state comparison.
+std::vector<std::pair<double, uint64_t>> Snapshot(
+    const SampleStore<uint64_t>& store) {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (size_t i : store.SortedOrder()) {
+    out.emplace_back(store.priorities()[i], store.payloads()[i]);
+  }
+  return out;
+}
+
+TEST(SampleStore, BatchedEqualsScalarExactly) {
+  for (size_t k : {1u, 7u, 64u, 500u}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      const size_t n = 5000;
+      const auto priorities = RandomPriorities(n, seed);
+      const auto ids = Ids(n);
+
+      SampleStore<uint64_t> scalar(k);
+      size_t scalar_accepted = 0;
+      for (size_t i = 0; i < n; ++i) {
+        scalar_accepted += scalar.Offer(priorities[i], ids[i]) ? 1 : 0;
+      }
+
+      SampleStore<uint64_t> batched(k);
+      const size_t batch_accepted = batched.OfferBatch(priorities, ids);
+
+      EXPECT_EQ(batch_accepted, scalar_accepted) << "k=" << k;
+      EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold()) << "k=" << k;
+      EXPECT_EQ(Snapshot(batched), Snapshot(scalar)) << "k=" << k;
+    }
+  }
+}
+
+TEST(SampleStore, BatchedEqualsScalarAcrossChunkBoundaries) {
+  // Feed the same stream in odd-sized chunks: chunking must not change
+  // the final state either.
+  const size_t k = 32;
+  const size_t n = 3000;
+  const auto priorities = RandomPriorities(n, 9);
+  const auto ids = Ids(n);
+
+  SampleStore<uint64_t> whole(k);
+  whole.OfferBatch(priorities, ids);
+
+  SampleStore<uint64_t> chunked(k);
+  size_t i = 0;
+  size_t chunk = 1;
+  while (i < n) {
+    const size_t len = std::min(chunk, n - i);
+    chunked.OfferBatch(std::span(priorities).subspan(i, len),
+                       std::span(ids).subspan(i, len));
+    i += len;
+    chunk = chunk * 2 + 1;  // 1, 3, 7, ... exercises partial blocks
+  }
+  EXPECT_DOUBLE_EQ(chunked.Threshold(), whole.Threshold());
+  EXPECT_EQ(Snapshot(chunked), Snapshot(whole));
+}
+
+TEST(SampleStore, ThresholdIsKPlusOneSmallest) {
+  const size_t k = 10;
+  const auto priorities = RandomPriorities(400, 4);
+  SampleStore<uint64_t> store(k);
+  store.OfferBatch(priorities, Ids(priorities.size()));
+
+  auto sorted = priorities;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(store.Threshold(), sorted[k]);
+  EXPECT_EQ(store.size(), k);
+  EXPECT_TRUE(store.saturated());
+  EXPECT_DOUBLE_EQ(store.MaxRetainedPriority(), sorted[k - 1]);
+}
+
+TEST(SampleStore, InitialThresholdPreFilters) {
+  SampleStore<uint64_t> store(8, /*initial_threshold=*/0.5);
+  EXPECT_FALSE(store.Offer(0.7, 1));
+  EXPECT_TRUE(store.Offer(0.3, 2));
+  EXPECT_FALSE(store.saturated());  // below capacity, initial cap intact
+  EXPECT_DOUBLE_EQ(store.Threshold(), 0.5);
+}
+
+TEST(SampleStore, LowerThresholdPurges) {
+  SampleStore<uint64_t> store(8);
+  store.Offer(0.1, 1);
+  store.Offer(0.2, 2);
+  store.Offer(0.3, 3);
+  store.LowerThreshold(0.25);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.Threshold(), 0.25);
+  EXPECT_FALSE(store.Offer(0.26, 4));
+  EXPECT_TRUE(store.saturated());
+}
+
+TEST(SampleStore, MergeEqualsSingleStream) {
+  const auto priorities = RandomPriorities(800, 5);
+  const auto ids = Ids(priorities.size());
+  SampleStore<uint64_t> whole(16), left(16), right(16);
+  for (size_t i = 0; i < priorities.size(); ++i) {
+    whole.Offer(priorities[i], ids[i]);
+    (i % 2 == 0 ? left : right).Offer(priorities[i], ids[i]);
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(left.Threshold(), whole.Threshold());
+  EXPECT_EQ(Snapshot(left), Snapshot(whole));
+}
+
+TEST(SampleStore, SelfMergeIsANoOp) {
+  SampleStore<uint64_t> store(4);
+  const auto priorities = RandomPriorities(100, 6);
+  store.OfferBatch(priorities, Ids(priorities.size()));
+  const auto before = Snapshot(store);
+  const double threshold_before = store.Threshold();
+
+  store.Merge(store);  // aliasing: must not corrupt or change the store
+
+  EXPECT_DOUBLE_EQ(store.Threshold(), threshold_before);
+  EXPECT_EQ(Snapshot(store), before);
+}
+
+TEST(SampleStore, ColumnsStayInLockstep) {
+  // Heavy churn with evictions: priorities()[i] must keep pairing with
+  // payloads()[i] (the payload equals the priority's original index).
+  const size_t n = 20000;
+  const auto priorities = RandomPriorities(n, 7);
+  SampleStore<uint64_t> store(64);
+  store.OfferBatch(priorities, Ids(n));
+  for (size_t i = 0; i < store.size(); ++i) {
+    EXPECT_DOUBLE_EQ(priorities[store.payloads()[i]],
+                     store.priorities()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ats

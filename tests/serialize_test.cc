@@ -1,12 +1,17 @@
 // Tests for sketch serialization (ats/util/serialize.h plumbing through
 // KmvSketch and LcsSketch): round trips, cross-node merge-after-ship, and
 // corrupt-input rejection.
+#include <cstring>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "ats/core/bottom_k.h"
+#include "ats/core/random.h"
+#include "ats/sketch/group_distinct.h"
 #include "ats/sketch/kmv.h"
 #include "ats/sketch/lcs_merge.h"
+#include "ats/sketch/theta.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -118,6 +123,197 @@ TEST(LcsSerialize, RejectsCorruptInput) {
   KmvSketch k(16, 1.0, 2);
   k.AddKey(1);
   EXPECT_FALSE(LcsSketch::Deserialize(k.SerializeToString()).has_value());
+}
+
+// --- The common MergeableSketch interface -----------------------------
+
+// Compile-time contract: every shipped sketch satisfies the concept.
+static_assert(MergeableSketch<KmvSketch>);
+static_assert(MergeableSketch<LcsSketch>);
+static_assert(MergeableSketch<ThetaSketch>);
+static_assert(MergeableSketch<GroupDistinctSketch>);
+static_assert(MergeableSketch<BottomK<uint64_t>>);
+static_assert(MergeableSketch<PrioritySampler>);
+
+TEST(SketchHeader, RoundTripAndVersionGate) {
+  ByteWriter w;
+  WriteSketchHeader(w, 0x41424344, 2);
+  {
+    ByteReader r(w.bytes());
+    EXPECT_EQ(ReadSketchHeader(r, 0x41424344, 3).value(), 2u);
+  }
+  {
+    ByteReader r(w.bytes());  // foreign magic
+    EXPECT_FALSE(ReadSketchHeader(r, 0x44434241, 3).has_value());
+  }
+  {
+    ByteReader r(w.bytes());  // reader too old for version 2
+    EXPECT_FALSE(ReadSketchHeader(r, 0x41424344, 1).has_value());
+  }
+}
+
+TEST(ThetaSerialize, StreamModeRoundTrip) {
+  ThetaSketch sketch(64, 5);
+  for (uint64_t i = 0; i < 3000; ++i) sketch.AddKey(i);
+  const auto restored = ThetaSketch::Deserialize(sketch.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_FALSE(restored->union_mode());
+  EXPECT_DOUBLE_EQ(restored->Theta(), sketch.Theta());
+  EXPECT_EQ(restored->size(), sketch.size());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+}
+
+TEST(ThetaSerialize, UnionModeRoundTripAndMerge) {
+  ThetaSketch a(64, 5), b(64, 5);
+  for (uint64_t i = 0; i < 2000; ++i) a.AddKey(i);
+  for (uint64_t i = 1500; i < 4000; ++i) b.AddKey(i);
+
+  // Pairwise Merge matches the n-way Union rule.
+  ThetaSketch merged = a;
+  merged.Merge(b);
+  const ThetaSketch unioned = ThetaSketch::Union({&a, &b});
+  EXPECT_DOUBLE_EQ(merged.Theta(), unioned.Theta());
+  EXPECT_EQ(merged.size(), unioned.size());
+  EXPECT_DOUBLE_EQ(merged.Estimate(), unioned.Estimate());
+
+  // Union results ship too.
+  const auto restored =
+      ThetaSketch::Deserialize(merged.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->union_mode());
+  EXPECT_DOUBLE_EQ(restored->Theta(), merged.Theta());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), merged.Estimate());
+}
+
+TEST(ThetaSerialize, SelfMergeIsANoOp) {
+  ThetaSketch sketch(32, 2);
+  for (uint64_t i = 0; i < 1000; ++i) sketch.AddKey(i);
+  const double estimate_before = sketch.Estimate();
+  sketch.Merge(sketch);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), estimate_before);
+}
+
+TEST(ThetaSerialize, RejectsCorruptInput) {
+  ThetaSketch sketch(16, 1);
+  for (uint64_t i = 0; i < 300; ++i) sketch.AddKey(i);
+  const std::string bytes = sketch.SerializeToString();
+  EXPECT_FALSE(ThetaSketch::Deserialize("").has_value());
+  EXPECT_FALSE(ThetaSketch::Deserialize(
+                   std::string_view(bytes).substr(0, 11))
+                   .has_value());
+  EXPECT_FALSE(ThetaSketch::Deserialize(bytes + "??").has_value());
+  std::string bad = bytes;
+  bad[2] ^= 0x11;  // magic
+  EXPECT_FALSE(ThetaSketch::Deserialize(bad).has_value());
+  // Theta bytes are not KMV bytes and vice versa.
+  EXPECT_FALSE(KmvSketch::Deserialize(bytes).has_value());
+}
+
+TEST(KmvSerialize, InitialThresholdSurvivesRoundTrip) {
+  // Grouped sketches serialize with a sub-1 initial threshold; saturation
+  // state must survive (saturated == threshold < initial threshold).
+  KmvSketch sketch(8, /*initial_threshold=*/0.25, /*hash_salt=*/3);
+  uint64_t key = 0;
+  while (!sketch.saturated()) sketch.AddKey(key++);
+  const auto restored = KmvSketch::Deserialize(sketch.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->saturated());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+}
+
+TEST(PrioritySamplerSerialize, RoundTripContinuesRngStream) {
+  // An independent-mode sampler must continue the exact same priority
+  // stream after a round trip: feed both copies the same suffix and
+  // expect bit-identical thresholds and samples.
+  PrioritySampler original(32, /*seed=*/9, /*coordinated=*/false);
+  Xoshiro256 weights(41);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    original.Add(i, 1.0 + weights.NextDouble());
+  }
+  auto restored =
+      PrioritySampler::Deserialize(original.SerializeToString());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), original.Threshold());
+
+  Xoshiro256 more_weights(43);
+  for (uint64_t i = 2000; i < 5000; ++i) {
+    const double w = 1.0 + more_weights.NextDouble();
+    original.Add(i, w);
+    restored->Add(i, w);
+  }
+  EXPECT_DOUBLE_EQ(restored->Threshold(), original.Threshold());
+  EXPECT_EQ(restored->size(), original.size());
+}
+
+TEST(PrioritySamplerSerialize, MergeOfShippedDisjointSamplersIsExact) {
+  // Coordinated samplers over disjoint key ranges, shipped and merged,
+  // equal the single sampler over the union.
+  PrioritySampler a(64, 1, true), b(64, 1, true), whole(64, 1, true);
+  Xoshiro256 weights(47);
+  for (uint64_t i = 0; i < 4000; ++i) {
+    const double w = 1.0 + weights.NextDouble();
+    whole.Add(i, w);
+    (i % 2 ? a : b).Add(i, w);
+  }
+  auto a2 = PrioritySampler::Deserialize(a.SerializeToString());
+  auto b2 = PrioritySampler::Deserialize(b.SerializeToString());
+  ASSERT_TRUE(a2 && b2);
+  a2->Merge(*b2);
+  EXPECT_DOUBLE_EQ(a2->Threshold(), whole.Threshold());
+  EXPECT_EQ(a2->size(), whole.size());
+}
+
+TEST(KmvSerialize, HostileCapacityFieldDoesNotAbort) {
+  // A frame whose k field claims 2^60 entries (with a recomputed frame
+  // checksum, so it passes integrity) must not make the receiver try to
+  // reserve 2^60 slots: deserialization stays allocation-bounded.
+  KmvSketch sketch(16, 1.0, 1);
+  for (uint64_t i = 0; i < 100; ++i) sketch.AddKey(i);
+  std::string bytes = sketch.SerializeToString();
+
+  // Patch k (u64 at offset 8, after the magic/version header) and redo
+  // the trailing checksum.
+  const uint64_t huge_k = uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 8, &huge_k, sizeof(huge_k));
+  std::string body = bytes.substr(0, bytes.size() - 4);
+  const uint32_t checksum = FrameChecksum(body);
+  std::memcpy(bytes.data() + body.size(), &checksum, sizeof(checksum));
+
+  const auto restored = KmvSketch::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());  // a huge capacity is legal...
+  EXPECT_EQ(restored->k(), size_t{1} << 60);
+  EXPECT_EQ(restored->size(), sketch.size());  // ...entries are bounded
+  EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
+}
+
+TEST(KmvSerialize, SingleFlippedByteAnywhereIsRejected) {
+  // The frame checksum catches corruption that field validation cannot
+  // (e.g. a flipped bit inside the k field still yields a plausible k).
+  KmvSketch sketch(16, 1.0, 1);
+  for (uint64_t i = 0; i < 100; ++i) sketch.AddKey(i);
+  const std::string bytes = sketch.SerializeToString();
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string bad = bytes;
+    bad[pos] ^= 0x10;
+    EXPECT_FALSE(KmvSketch::Deserialize(bad).has_value())
+        << "flip at " << pos;
+  }
+}
+
+TEST(PrioritySamplerSerialize, RejectsAllZeroRngState) {
+  // An all-zero Xoshiro256 state is the generator's invalid fixed point;
+  // a frame carrying it (with a recomputed checksum) must be rejected,
+  // not produce a sampler with a degenerate priority stream.
+  PrioritySampler sampler(8, /*seed=*/3, /*coordinated=*/false);
+  for (uint64_t i = 0; i < 50; ++i) sampler.Add(i, 1.0);
+  std::string bytes = sampler.SerializeToString();
+  // RNG words start after the 8-byte header + 4-byte coordinated flag.
+  std::memset(bytes.data() + 12, 0, 4 * sizeof(uint64_t));
+  std::string body = bytes.substr(0, bytes.size() - 4);
+  const uint32_t checksum = FrameChecksum(body);
+  std::memcpy(bytes.data() + body.size(), &checksum, sizeof(checksum));
+  EXPECT_FALSE(PrioritySampler::Deserialize(bytes).has_value());
 }
 
 }  // namespace

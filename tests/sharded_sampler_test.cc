@@ -1,0 +1,148 @@
+// Tests for ats/core/sharded_sampler.h: the hash-partitioned parallel
+// ingestion front-end. The load-bearing property (Section 2.5): with
+// coordinated priorities, the sharded-then-merged sample and threshold
+// are EXACTLY those of single-store ingestion, so estimates agree to the
+// last bit; with independent priorities the estimates stay unbiased.
+#include "ats/core/sharded_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ats/core/ht_estimator.h"
+#include "ats/core/random.h"
+#include "ats/util/stats.h"
+#include "ats/workload/synthetic.h"
+
+namespace ats {
+namespace {
+
+std::vector<ShardedSampler::Item> MakeStream(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<ShardedSampler::Item> out(n);
+  uint64_t key = 0;
+  for (auto& item : out) {
+    item.key = key++;
+    item.weight = std::exp(0.5 * rng.NextGaussian());
+  }
+  return out;
+}
+
+std::vector<std::pair<double, uint64_t>> SortedSample(
+    const std::vector<SampleEntry>& sample) {
+  std::vector<std::pair<double, uint64_t>> out;
+  out.reserve(sample.size());
+  for (const auto& e : sample) out.emplace_back(e.priority, e.key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ShardedSampler, CoordinatedShardingMatchesSingleStoreExactly) {
+  const size_t k = 100;
+  const auto stream = MakeStream(20000, 11);
+
+  PrioritySampler single(k, /*seed=*/1, /*coordinated=*/true);
+  for (const auto& item : stream) single.Add(item.key, item.weight);
+
+  for (size_t num_shards : {1u, 2u, 4u, 7u}) {
+    ShardedSampler sharded(num_shards, k);
+    sharded.AddBatch(stream);
+
+    const auto merged = sharded.Merged();
+    EXPECT_DOUBLE_EQ(merged.threshold, single.Threshold())
+        << "S=" << num_shards;
+    EXPECT_DOUBLE_EQ(sharded.MergedThreshold(), merged.threshold);
+    EXPECT_EQ(SortedSample(merged.entries), SortedSample(single.Sample()))
+        << "S=" << num_shards;
+    // Same estimates, to the bit.
+    EXPECT_DOUBLE_EQ(HtTotal(merged.entries), HtTotal(single.Sample()))
+        << "S=" << num_shards;
+  }
+}
+
+TEST(ShardedSampler, ScalarAndBatchedIngestAgree) {
+  const auto stream = MakeStream(5000, 13);
+  ShardedSampler scalar(4, 64), batched(4, 64);
+  for (const auto& item : stream) scalar.Add(item.key, item.weight);
+  batched.AddBatch(stream);
+  EXPECT_DOUBLE_EQ(batched.MergedThreshold(), scalar.MergedThreshold());
+  EXPECT_EQ(SortedSample(batched.Sample()), SortedSample(scalar.Sample()));
+}
+
+TEST(ShardedSampler, ShardsPartitionTheKeySpace) {
+  ShardedSampler sharded(8, 32);
+  const auto stream = MakeStream(4000, 17);
+  sharded.AddBatch(stream);
+  // Each retained key lives in exactly the shard its hash routes to.
+  std::set<uint64_t> seen;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    for (const auto& e : sharded.shard(s).Sample()) {
+      EXPECT_EQ(sharded.ShardOf(e.key), s);
+      EXPECT_TRUE(seen.insert(e.key).second) << "key in two shards";
+    }
+  }
+  EXPECT_EQ(sharded.TotalRetained(), seen.size());
+}
+
+TEST(ShardedSampler, MergedSampleSizeIsK) {
+  const size_t k = 50;
+  ShardedSampler sharded(4, k);
+  const auto stream = MakeStream(10000, 19);
+  sharded.AddBatch(stream);
+  EXPECT_EQ(sharded.Sample().size(), k);
+  // Per-shard stores hold up to k each; the merge re-caps at k.
+  EXPECT_GE(sharded.TotalRetained(), k);
+}
+
+TEST(ShardedSampler, IndependentModeHtTotalIsUnbiased) {
+  const auto population = MakeWeightedPopulation(600, 23, true);
+  double truth = 0.0;
+  std::vector<ShardedSampler::Item> stream;
+  for (const auto& it : population) {
+    truth += it.weight;
+    stream.push_back({it.key, it.weight});
+  }
+
+  RunningStat estimates;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    ShardedSampler sharded(4, 40, /*coordinated=*/false,
+                           /*seed=*/1000 + static_cast<uint64_t>(t));
+    sharded.AddBatch(stream);
+    estimates.Add(HtTotal(sharded.Sample()));
+  }
+  const double se = estimates.StdDev() / std::sqrt(double(trials));
+  EXPECT_NEAR(estimates.mean(), truth, 4.0 * se + 1e-9);
+}
+
+TEST(ShardedSampler, ParallelShardIngestMatchesSequential) {
+  // Pre-partition the stream and feed each shard from its own thread via
+  // AddShardBatch; the result must equal sequential AddBatch ingestion.
+  const auto stream = MakeStream(8000, 27);
+  const size_t num_shards = 4;
+  ShardedSampler sequential(num_shards, 64), parallel(num_shards, 64);
+  sequential.AddBatch(stream);
+
+  std::vector<std::vector<ShardedSampler::Item>> parts(num_shards);
+  for (const auto& item : stream) {
+    parts[parallel.ShardOf(item.key)].push_back(item);
+  }
+  std::vector<std::thread> workers;
+  for (size_t s = 0; s < num_shards; ++s) {
+    workers.emplace_back(
+        [&parallel, &parts, s] { parallel.AddShardBatch(s, parts[s]); });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_DOUBLE_EQ(parallel.MergedThreshold(),
+                   sequential.MergedThreshold());
+  EXPECT_EQ(SortedSample(parallel.Sample()),
+            SortedSample(sequential.Sample()));
+}
+
+}  // namespace
+}  // namespace ats
