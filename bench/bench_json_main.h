@@ -34,6 +34,16 @@ inline int RunBenchmarksWithJsonFlag(int argc, char** argv,
   for (auto& s : rewritten) args.push_back(s.data());
   int rewritten_argc = static_cast<int>(args.size());
   benchmark::Initialize(&rewritten_argc, args.data());
+  // The stock `library_build_type` context key reports how the SYSTEM
+  // google-benchmark library was compiled (Debian ships it without
+  // NDEBUG, so it always says "debug"); record how THIS binary -- the
+  // code actually being measured -- was compiled, so baselines are
+  // auditable as Release numbers.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ats_build_type", "release");
+#else
+  benchmark::AddCustomContext("ats_build_type", "debug");
+#endif
   if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
     return 1;
   }

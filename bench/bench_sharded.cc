@@ -7,8 +7,8 @@
 //
 // The headline comparisons:
 //   * BM_StoreOffer vs BM_StoreOfferBatch  -- same stream, same final
-//     state; the batch path block-filters rejects against the threshold
-//     without touching the heap or payload column.
+//     state; the batch path block-filters rejects against the acceptance
+//     bound without touching the compaction buffer or payload column.
 //   * BM_SamplerAdd vs BM_SamplerAddBatch vs BM_ShardedAddBatch/S --
 //     the sharded front-end partitions work across S independent stores
 //     (the single-process proxy for S ingest threads/nodes).
@@ -83,6 +83,21 @@ void BM_StoreOfferBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kStreamLen);
 }
 BENCHMARK(BM_StoreOfferBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Fused keyed front-end: hash -> unit-interval priority -> block
+// pre-filter -> append, all inside the store. The comparison against
+// BM_StoreOfferBatch isolates the fused hashing pipeline (the priority
+// column never materializes outside a 64-entry block).
+void BM_StoreHashedBatchOffer(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto keys = MakeIds();
+  for (auto _ : state) {
+    SampleStore<uint64_t> store(k, /*initial_threshold=*/1.0);
+    benchmark::DoNotOptimize(store.HashedBatchOffer(keys, /*hash_salt=*/1));
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamLen);
+}
+BENCHMARK(BM_StoreHashedBatchOffer)->Arg(64)->Arg(1024)->Arg(16384);
 
 // --- Weighted sampler: single store, scalar vs batched ----------------
 

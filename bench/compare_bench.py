@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Benchmark regression checker.
+
+Diffs a freshly produced google-benchmark JSON (bench/run_bench.sh
+output) against a committed baseline and fails when any benchmark's
+throughput regresses by more than the tolerance (default 15%).
+
+Benchmarks are matched by name. Throughput is `items_per_second` when
+the benchmark reports it, otherwise the inverse of `cpu_time` (so pure
+latency benchmarks still compare meaningfully). Benchmarks that exist
+only in one file are reported but never fatal -- adding or retiring a
+benchmark must not break CI.
+
+Usage:
+  bench/compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.15]
+
+Exit status: 0 when no benchmark regresses past the threshold, 1
+otherwise, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_throughputs(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if not name:
+            continue
+        if "items_per_second" in b:
+            out[name] = float(b["items_per_second"])
+        elif float(b.get("cpu_time", 0.0)) > 0.0:
+            out[name] = 1.0 / float(b["cpu_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="fatal fractional throughput drop (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_throughputs(args.baseline)
+    cur = load_throughputs(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(base):
+        if name not in cur:
+            rows.append((name, "baseline-only", ""))
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.max_regression:
+            flag = "REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio > 1.0 + args.max_regression:
+            flag = "improved"
+        rows.append((name, f"{ratio:6.2f}x", flag))
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, "new", ""))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}}  current/baseline")
+    for name, ratio, flag in rows:
+        print(f"{name:<{width}}  {ratio:>16}  {flag}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

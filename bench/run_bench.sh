@@ -1,16 +1,31 @@
 #!/usr/bin/env bash
-# Builds the google-benchmark binaries and writes machine-readable JSON
-# results (BENCH_throughput.json, BENCH_sharded.json) into the repo root,
-# so successive PRs can track the perf trajectory.
+# Builds the google-benchmark binaries in a DEDICATED Release tree and
+# writes machine-readable JSON results (BENCH_throughput.json,
+# BENCH_sharded.json) into the repo root, so successive PRs can track the
+# perf trajectory.
+#
+# The build directory defaults to build-release/ (NOT the dev build/):
+# reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
+# recording baselines of unoptimized code. The script forces Release,
+# then verifies the cache before trusting the binaries. The emitted JSON
+# also carries an `ats_build_type` context entry (see bench_json_main.h)
+# so a baseline file is self-describing; the stock `library_build_type`
+# key only describes the system benchmark library (Debian ships it as
+# "debug"), not this code.
 #
 # Usage: bench/run_bench.sh [build-dir]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build}"
+BUILD_DIR="${1:-$REPO_ROOT/build-release}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DATS_BUILD_BENCH=ON \
       -DCMAKE_BUILD_TYPE=Release
+if ! grep -q '^CMAKE_BUILD_TYPE:STRING=Release$' "$BUILD_DIR/CMakeCache.txt"
+then
+  echo "error: $BUILD_DIR is not configured as a Release tree" >&2
+  exit 1
+fi
 cmake --build "$BUILD_DIR" -j --target bench_throughput bench_sharded
 
 "$BUILD_DIR/bench/bench_throughput" \
@@ -19,5 +34,13 @@ cmake --build "$BUILD_DIR" -j --target bench_throughput bench_sharded
 "$BUILD_DIR/bench/bench_sharded" \
     --json="$REPO_ROOT/BENCH_sharded.json" \
     --benchmark_min_time=0.1
+
+for out in "$REPO_ROOT/BENCH_throughput.json" "$REPO_ROOT/BENCH_sharded.json"
+do
+  if ! grep -q '"ats_build_type": "release"' "$out"; then
+    echo "error: $out does not record ats_build_type=release" >&2
+    exit 1
+  fi
+done
 
 echo "Wrote $REPO_ROOT/BENCH_throughput.json and $REPO_ROOT/BENCH_sharded.json"

@@ -9,9 +9,9 @@
 // WeightedUniform priorities this is exactly priority sampling [12]; with
 // hashed Uniform priorities it is the KMV distinct-counting sketch.
 //
-// Retention (heap + threshold bookkeeping) lives in the shared
-// SampleStore; this header is the entry-oriented facade plus the weighted
-// PrioritySampler built on it.
+// Retention (compaction buffer + threshold bookkeeping) lives in the
+// shared SampleStore; this header is the entry-oriented facade plus the
+// weighted PrioritySampler built on it.
 #ifndef ATS_CORE_BOTTOM_K_H_
 #define ATS_CORE_BOTTOM_K_H_
 
@@ -43,9 +43,10 @@ struct PayloadCodec<uint64_t> {
 // Generic bottom-k container over (priority, payload) pairs, backed by the
 // shared SampleStore.
 //
-// Offer() is O(log k); Threshold() is O(1). The threshold starts at
-// +infinity and becomes finite once k+1 distinct offers have been seen,
-// after which it equals the (k+1)-th smallest priority ever offered.
+// Offer() is amortized O(1) (append into the store's compaction buffer);
+// Threshold() canonicalizes first and equals the (k+1)-th smallest
+// priority ever offered once k+1 distinct offers have been seen
+// (+infinity before that).
 template <typename Payload>
 class BottomK {
  public:
@@ -59,15 +60,18 @@ class BottomK {
 
   explicit BottomK(size_t k) : store_(k) {}
 
-  // Offers an item. Returns true iff the item is retained (i.e. its
-  // priority is below the current threshold and it enters the sketch).
+  // Offers an item. Returns true iff the item is accepted below the
+  // store's current (chunked) acceptance bound and enters the candidate
+  // buffer; the next compaction may still drop it if k smaller priorities
+  // exist. The canonical retained set and threshold are unaffected by
+  // the chunking (see sample_store.h).
   bool Offer(double priority, Payload payload) {
     return store_.Offer(priority, std::move(payload));
   }
 
-  // Batched offers: equivalent to a scalar Offer loop but pre-filtered
-  // against the threshold in the store's column scan. Returns the number
-  // of retained items.
+  // Batched offers: equivalent to a scalar Offer loop (same state, same
+  // acceptance count) but pre-filtered against the acceptance bound in
+  // the store's column scan. Returns the number of accepted items.
   size_t OfferBatch(std::span<const double> priorities,
                     std::span<const Payload> payloads) {
     return store_.OfferBatch(priorities, payloads);
@@ -85,8 +89,8 @@ class BottomK {
   size_t k() const { return store_.k(); }
   bool saturated() const { return store_.saturated(); }
 
-  // Retained entries in unspecified (heap) order, materialized from the
-  // store's columns.
+  // Retained entries in unspecified order, materialized from the store's
+  // canonical columns.
   std::vector<Entry> entries() const {
     std::vector<Entry> out;
     out.reserve(store_.size());

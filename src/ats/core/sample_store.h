@@ -3,32 +3,65 @@
 //
 // The store keeps the k items with smallest priorities seen so far in
 // structure-of-arrays layout -- a `priority[]` column and a parallel
-// `payload[]` column kept in lockstep by a manual binary max-heap. The
-// adaptive threshold is the (k+1)-th smallest priority ever offered
-// (capped at an optional initial threshold), which is fully substitutable
-// (Theorem 6), so HT estimators can treat it as fixed.
+// `payload[]` column kept in lockstep. The adaptive threshold is the
+// (k+1)-th smallest priority ever offered (capped at an optional initial
+// threshold), which is fully substitutable (Theorem 6), so HT estimators
+// can treat it as fixed.
+//
+// Ingestion discipline: because the threshold is substitutable, it does
+// not have to be lowered on every eviction -- lowering it in *chunks* is
+// equally valid (the retained set at any published bound is still an
+// exact threshold sample at that bound). The store exploits this with the
+// compaction scheme production theta/KMV sketches use:
+//
+//   * Accepted candidates (priority < the current acceptance bound) are
+//     APPENDED to a 2k overflow buffer -- no heap, no sifting, amortized
+//     O(1) per accepted item.
+//   * When the buffer fills, it is compacted: std::nth_element on a
+//     scratch copy of the priority column finds the (k+1)-th smallest
+//     priority, that value becomes the new acceptance bound, and a single
+//     gather pass keeps exactly the k smallest entries (ties at the pivot
+//     resolved first-arrived-first-kept). Payloads are permuted in the
+//     same pass, so rejected items still never touch payload memory.
+//
+// Between compactions the buffer may hold up to 2k entries; every
+// OBSERVABLE accessor (Threshold, size, priorities, Merge, serialization,
+// ...) first canonicalizes -- compacts down to at most k -- so callers
+// always see exactly the state a per-offer scalar reference (retain the k
+// smallest, threshold = (k+1)-th smallest ever) would have produced: same
+// retained priority multiset, same threshold, including priority ties and
+// the underfull warm-up phase. `AcceptBound()` exposes the raw chunked
+// bound for hot-path pre-filtering without forcing a compaction.
 //
 // Why structure-of-arrays: the ingest hot path touches only priorities.
 // Once the store saturates, the overwhelming majority of offers fail the
-// `priority < threshold` test and must be rejected as cheaply as possible;
-// a dense double column lets the batched path scan candidates with
-// branch-free vectorizable compares and never pull payload bytes into
-// cache for rejected items.
+// `priority < bound` test and must be rejected as cheaply as possible; a
+// dense double column lets the batched path scan candidates with
+// branch-free vectorizable compares.
+//
+// Thread-safety note: canonicalization mutates the representation (not
+// the observable state) under `const` accessors, so concurrent reads of
+// the SAME store are only safe once it is canonical (e.g. after an
+// explicit Threshold()/size() call with no interleaved ingest). Distinct
+// stores (one per shard) remain independent, which is what the sharded
+// front-end relies on.
 //
 // Every container that previously hand-rolled its own heap + threshold
-// (BottomK, PrioritySampler, KmvSketch, ThetaSketch via KMV, ...) now
+// (BottomK, PrioritySampler, KmvSketch, ThetaSketch via KMV, ...)
 // delegates retention to this class.
 #ifndef ATS_CORE_SAMPLE_STORE_H_
 #define ATS_CORE_SAMPLE_STORE_H_
 
 #include <algorithm>
 #include <bit>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "ats/core/random.h"
 #include "ats/core/threshold.h"
 #include "ats/util/check.h"
 
@@ -42,18 +75,27 @@ std::vector<size_t> AscendingPriorityOrder(
     const std::vector<double>& priorities);
 
 // Bound on eager capacity reservation. Capacity k is a logical limit, not
-// a storage promise: wire formats carry arbitrary k, so reserving k
-// up front would let a hostile message allocate (or throw) unboundedly.
+// a storage promise: wire formats carry arbitrary k, so reserving k (or
+// the 2k compaction buffer) up front would let a hostile message allocate
+// (or throw) unboundedly.
 inline constexpr size_t kMaxEagerReserve = 1 << 16;
+
+// Width of the batched-ingest pre-filter blocks. The AVX2 scan packs one
+// candidate bit per block item into a uint64_t, so the block cannot grow
+// past 64 without reworking the bitmap.
+inline constexpr size_t kIngestBlock = 64;
+static_assert(kIngestBlock <= 64,
+              "VisitBlockCandidates packs candidates into a 64-bit mask");
 
 // Visits the indices j in [0, 64) whose priority is below the threshold
 // snapshot `t`, in ascending order. This is THE batched-ingest pre-filter:
 // one implementation of the SIMD-friendly block scan, shared by
-// SampleStore::OfferBatch and the hashing front-ends (KmvSketch::AddKeys).
-// Callers re-check the live threshold per candidate (Offer does this),
-// so using a snapshot is behavior-preserving: the threshold only
-// decreases, and items culled against the snapshot would also be
-// rejected, with no state change, one at a time.
+// SampleStore::OfferBatch and the fused hashing front-ends
+// (HashedBatchOffer, KmvSketch::AddKeys). Callers re-check the live bound
+// per candidate (Offer does this), so using a snapshot is
+// behavior-preserving: the bound only decreases, and items culled against
+// the snapshot would also be rejected, with no state change, one at a
+// time.
 template <typename Visit>
 inline void VisitBlockCandidates(const double* priorities, double t,
                                  Visit&& visit) {
@@ -63,7 +105,7 @@ inline void VisitBlockCandidates(const double* priorities, double t,
   // order -- required for exact equivalence with a scalar Offer loop
   // when priorities tie (which payload survives is order-dependent).
   uint64_t mask = 0;
-  for (size_t j = 0; j < 64; ++j) {
+  for (size_t j = 0; j < kIngestBlock; ++j) {
     mask |= static_cast<uint64_t>(priorities[j] < t) << j;
   }
   while (mask != 0) {
@@ -76,15 +118,44 @@ inline void VisitBlockCandidates(const double* priorities, double t,
   // compare reduction) decides whether the block can be skipped
   // wholesale; candidate blocks are rare once the store saturates.
   int any = 0;
-  for (size_t j = 0; j < 64; ++j) {
+  for (size_t j = 0; j < kIngestBlock; ++j) {
     any |= priorities[j] < t;
   }
   if (any) {
-    for (size_t j = 0; j < 64; ++j) {
+    for (size_t j = 0; j < kIngestBlock; ++j) {
       if (priorities[j] < t) visit(j);
     }
   }
 #endif
+}
+
+// Fused hash -> priority -> pre-filter pipeline over a span of keys: for
+// each 64-key block, the coordinated unit-interval priorities are
+// computed into a dense column FIRST (a straight-line loop the compiler
+// vectorizes: Mix64 is mul/xor/shift), then the block is culled against
+// `bound()` with VisitBlockCandidates, and only surviving (priority, key)
+// pairs reach `visit` -- in stream order, exactly like a scalar
+// hash-then-offer loop. `bound` is re-read per block (and per tail item)
+// so compactions triggered by accepted candidates tighten the filter for
+// subsequent blocks.
+template <typename BoundFn, typename Visit>
+inline void VisitHashedCandidates(std::span<const uint64_t> keys,
+                                  uint64_t salt, BoundFn&& bound,
+                                  Visit&& visit) {
+  alignas(64) double priorities[kIngestBlock];
+  size_t i = 0;
+  for (; i + kIngestBlock <= keys.size(); i += kIngestBlock) {
+    for (size_t j = 0; j < kIngestBlock; ++j) {
+      priorities[j] = HashToUnit(HashKey(keys[i + j], salt));
+    }
+    VisitBlockCandidates(priorities, bound(), [&](size_t j) {
+      visit(priorities[j], keys[i + j]);
+    });
+  }
+  for (; i < keys.size(); ++i) {
+    const double p = HashToUnit(HashKey(keys[i], salt));
+    if (p < bound()) visit(p, keys[i]);
+  }
 }
 
 }  // namespace internal
@@ -99,113 +170,160 @@ class SampleStore {
   explicit SampleStore(size_t k,
                        double initial_threshold = kInfiniteThreshold)
       : k_(k),
+        capacity_(2 * k),
         initial_threshold_(initial_threshold),
         threshold_(initial_threshold) {
     ATS_CHECK(k >= 1);
     ATS_CHECK(initial_threshold > 0.0);
-    const size_t reserve = std::min(k, internal::kMaxEagerReserve);
+    const size_t reserve = std::min(capacity_, internal::kMaxEagerReserve);
     priority_.reserve(reserve);
     payload_.reserve(reserve);
   }
 
-  // Offers one item. Returns true iff the item is retained. O(log k).
+  // Offers one item. Returns true iff the item is ACCEPTED: its priority
+  // is below the current acceptance bound and it enters the candidate
+  // buffer. Amortized O(1): an accept is an append; every 2k-th accept
+  // pays one O(k) nth_element compaction.
+  //
+  // Acceptance is chunked: between compactions the bound sits at the
+  // (k+1)-th smallest priority as of the LAST compaction, so an accepted
+  // item may still be dropped by the next compaction if k smaller
+  // priorities exist. The retained set and threshold observed through the
+  // canonicalizing accessors are nevertheless exactly those of a
+  // per-offer reference (see file comment).
   bool Offer(double priority, Payload payload) {
     if (priority >= threshold_) return false;
-    const size_t n = priority_.size();
-    if (n < k_) {
-      priority_.push_back(priority);
-      payload_.push_back(std::move(payload));
-      SiftUp(n);
-      return true;
-    }
-    if (priority >= priority_[0]) {
-      // Not among the k smallest: it is a new (k+1)-th candidate.
-      threshold_ = std::min(threshold_, priority);
-      return false;
-    }
-    // Evict the current max; the evicted priority becomes the threshold.
-    threshold_ = std::min(threshold_, priority_[0]);
-    priority_[0] = priority;
-    payload_[0] = std::move(payload);
-    SiftDown(0);
+    priority_.push_back(priority);
+    payload_.push_back(std::move(payload));
+    if (priority_.size() >= capacity_) CompactToK();
     return true;
   }
 
   // Batched ingest hot path. Exactly equivalent to calling Offer() on each
   // (priority, payload) pair in order -- same final state, same acceptance
   // count -- but pre-filters each 64-item block against the current
-  // threshold with a branch-free compare scan over the priority column, so
-  // rejected items never reach the heap or touch payload memory.
+  // acceptance bound with a branch-free compare scan over the priority
+  // column, so rejected items never reach the buffer or touch payload
+  // memory.
   //
-  // Correctness of the pre-filter: the threshold only decreases, so items
+  // Correctness of the pre-filter: the bound only decreases, so items
   // culled against the block-start snapshot `t` would also be rejected
   // (with no state change) by a scalar Offer; survivors re-check the live
-  // threshold inside Offer.
+  // bound inside Offer.
   size_t OfferBatch(std::span<const double> priorities,
                     std::span<const Payload> payloads) {
     ATS_CHECK(priorities.size() == payloads.size());
     const size_t n = priorities.size();
     size_t accepted = 0;
     size_t i = 0;
-    // Warm-up: while underfull, (almost) everything is accepted anyway.
-    while (i < n && priority_.size() < k_) {
-      accepted += Offer(priorities[i], payloads[i]) ? 1 : 0;
-      ++i;
-    }
-    // Full 64-item blocks through the vector-friendly pre-filter.
-    for (; i + 64 <= n; i += 64) {
+    for (; i + internal::kIngestBlock <= n; i += internal::kIngestBlock) {
       internal::VisitBlockCandidates(
           priorities.data() + i, threshold_, [&](size_t j) {
             accepted += Offer(priorities[i + j], payloads[i + j]) ? 1 : 0;
           });
     }
-    // Tail.
     for (; i < n; ++i) {
       accepted += Offer(priorities[i], payloads[i]) ? 1 : 0;
     }
     return accepted;
   }
 
+  // Fused batched front-end for keyed stores (Payload == uint64_t): for
+  // each 64-key block, computes the coordinated hash priorities into a
+  // dense column, culls the block against the acceptance bound, and
+  // appends the survivors. Exactly equivalent to
+  //   for (key : keys) Offer(HashToUnit(HashKey(key, salt)), key);
+  // in order, including the acceptance count. Keys are NOT deduplicated;
+  // key-coordinated duplicate suppression lives in KmvSketch.
+  size_t HashedBatchOffer(std::span<const uint64_t> keys,
+                          uint64_t hash_salt = 0)
+    requires std::same_as<Payload, uint64_t>
+  {
+    size_t accepted = 0;
+    internal::VisitHashedCandidates(
+        keys, hash_salt, [this] { return threshold_; },
+        [&](double priority, uint64_t key) {
+          accepted += Offer(priority, key) ? 1 : 0;
+        });
+    return accepted;
+  }
+
   // The adaptive threshold: min(initial threshold, (k+1)-th smallest
-  // priority ever offered).
-  double Threshold() const { return threshold_; }
+  // priority ever offered). Canonicalizes (compacts the overflow buffer)
+  // first, so the value matches the scalar reference at any point.
+  double Threshold() const {
+    CompactToK();
+    return threshold_;
+  }
+
+  // The raw chunked acceptance bound: Threshold() <= AcceptBound(), with
+  // equality whenever the store is canonical. O(1) -- this is the value
+  // hot ingest paths (KmvSketch::OfferPriority, the block pre-filter)
+  // test against without forcing a compaction. Any retained-set snapshot
+  // taken together with this bound is a valid threshold sample at the
+  // bound (threshold substitutability), so estimators MAY use it; the
+  // canonical Threshold() is simply tighter.
+  double AcceptBound() const { return threshold_; }
 
   // True once the threshold has dropped below the initial threshold, i.e.
   // at least one offer has been squeezed out by capacity.
-  bool saturated() const { return threshold_ < initial_threshold_; }
-
-  // Largest retained priority. Only valid when size() > 0.
-  double MaxRetainedPriority() const {
-    ATS_CHECK(!priority_.empty());
-    return priority_[0];
+  bool saturated() const {
+    CompactToK();
+    return threshold_ < initial_threshold_;
   }
 
-  size_t size() const { return priority_.size(); }
+  // Largest retained priority (the k-th smallest seen). Only valid when
+  // size() > 0. O(k): the canonical buffer is unordered between
+  // compactions, so this scans the priority column.
+  double MaxRetainedPriority() const {
+    CompactToK();
+    ATS_CHECK(!priority_.empty());
+    return *std::max_element(priority_.begin(), priority_.end());
+  }
+
+  // Canonical retained count (<= k).
+  size_t size() const {
+    CompactToK();
+    return priority_.size();
+  }
+
+  // Raw candidate-buffer occupancy (may exceed k between compactions).
+  // O(1); monitoring / memory-heuristic use only.
+  size_t BufferedSize() const { return priority_.size(); }
+
   size_t k() const { return k_; }
   double initial_threshold() const { return initial_threshold_; }
 
-  // Raw columns in heap order. priorities()[i] pairs with payloads()[i].
-  const std::vector<double>& priorities() const { return priority_; }
-  const std::vector<Payload>& payloads() const { return payload_; }
+  // Raw columns in unspecified order. priorities()[i] pairs with
+  // payloads()[i]. Canonicalized: at most k entries, exactly the scalar
+  // reference's retained multiset.
+  const std::vector<double>& priorities() const {
+    CompactToK();
+    return priority_;
+  }
+  const std::vector<Payload>& payloads() const {
+    CompactToK();
+    return payload_;
+  }
 
   // Index permutation visiting entries in ascending-priority order.
   std::vector<size_t> SortedOrder() const {
+    CompactToK();
     return internal::AscendingPriorityOrder(priority_);
   }
 
   // Merges another store over a disjoint stream: the result is the store
   // of the concatenated streams. The threshold is the min of both
-  // thresholds and of any priority evicted while merging. Merging a store
-  // with itself is a no-op (the union of a stream with itself).
+  // thresholds and of any priority squeezed out while merging. Merging a
+  // store with itself is a no-op (the union of a stream with itself).
   void Merge(const SampleStore& other) {
     if (&other == this) return;
     initial_threshold_ =
         std::min(initial_threshold_, other.initial_threshold_);
+    other.CompactToK();
     LowerThreshold(other.threshold_);
     for (size_t i = 0; i < other.priority_.size(); ++i) {
-      if (other.priority_[i] < threshold_) {
-        Offer(other.priority_[i], other.payload_[i]);
-      }
+      Offer(other.priority_[i], other.payload_[i]);
     }
     // Offers above may have lowered the threshold further; restore the
     // invariant "retained iff priority < threshold".
@@ -215,10 +333,31 @@ class SampleStore {
   // Removes retained entries with priority >= Threshold(). Needed after
   // merges or external threshold reductions.
   void PurgeAboveThreshold() {
+    CompactToK();
     if (threshold_ == kInfiniteThreshold) return;
+    FilterColumns([t = threshold_](double p) { return p < t; });
+  }
+
+  // Externally lowers the threshold (threshold composition, merges);
+  // drops buffered entries that fall outside. Does not force a
+  // compaction: the filtered buffer is still a valid candidate set at
+  // the lowered bound.
+  void LowerThreshold(double t) {
+    if (t >= threshold_) return;
+    threshold_ = t;
+    FilterColumns([t](double p) { return p < t; });
+  }
+
+ private:
+  // In-place stable filter over the parallel columns: keeps the entries
+  // whose priority satisfies `keep` (which may be stateful), preserving
+  // arrival order and priority/payload lockstep. Logically const -- the
+  // single place the columns are compacted/moved.
+  template <typename Keep>
+  void FilterColumns(Keep&& keep) const {
     size_t w = 0;
     for (size_t i = 0; i < priority_.size(); ++i) {
-      if (priority_[i] < threshold_) {
+      if (keep(priority_[i])) {
         if (w != i) {
           priority_[w] = priority_[i];
           payload_[w] = std::move(payload_[i]);
@@ -228,56 +367,60 @@ class SampleStore {
     }
     priority_.resize(w);
     payload_.resize(w);
-    Heapify();
   }
 
-  // Externally lowers the threshold (threshold composition, merges);
-  // purges entries that fall outside.
-  void LowerThreshold(double t) {
-    if (t < threshold_) {
-      threshold_ = t;
-      PurgeAboveThreshold();
-    }
-  }
-
- private:
-  void SiftUp(size_t i) {
-    while (i > 0) {
-      const size_t parent = (i - 1) / 2;
-      if (priority_[parent] >= priority_[i]) break;
-      std::swap(priority_[parent], priority_[i]);
-      std::swap(payload_[parent], payload_[i]);
-      i = parent;
-    }
-  }
-
-  void SiftDown(size_t i) {
+  // Compacts the candidate buffer down to the k smallest entries and
+  // tightens the acceptance bound to the (k+1)-th smallest buffered
+  // priority. No-op when the buffer already holds <= k entries, so the
+  // canonicalizing accessors are O(1) between ingest bursts.
+  //
+  // The buffer always contains EVERY item ever offered below the current
+  // bound (minus entries dropped by earlier compactions, all of which
+  // were >= the bound at that time and hence >= the final threshold), so
+  // the (k+1)-th smallest buffered priority IS the (k+1)-th smallest
+  // priority ever offered -- the scalar reference's threshold.
+  //
+  // Ties at the pivot are kept first-arrived-first (the later duplicates
+  // are exactly the offers a per-offer reference would have rejected at
+  // a full store). Logically const: mutates only the representation.
+  void CompactToK() const {
     const size_t n = priority_.size();
-    for (;;) {
-      size_t largest = i;
-      const size_t l = 2 * i + 1;
-      const size_t r = 2 * i + 2;
-      if (l < n && priority_[l] > priority_[largest]) largest = l;
-      if (r < n && priority_[r] > priority_[largest]) largest = r;
-      if (largest == i) return;
-      std::swap(priority_[largest], priority_[i]);
-      std::swap(payload_[largest], payload_[i]);
-      i = largest;
-    }
-  }
-
-  void Heapify() {
-    const size_t n = priority_.size();
-    if (n < 2) return;
-    for (size_t i = n / 2; i-- > 0;) SiftDown(i);
+    if (n <= k_) return;
+    scratch_.assign(priority_.begin(), priority_.end());
+    const auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(k_);
+    std::nth_element(scratch_.begin(), nth, scratch_.end());
+    const double pivot = *nth;  // the (k+1)-th smallest buffered priority
+    threshold_ = std::min(threshold_, pivot);
+    // Gather the k smallest in arrival order: everything strictly below
+    // the pivot plus the first ties AT the pivot filling up to k.
+    size_t below = 0;
+    for (const double p : priority_) below += p < pivot ? 1 : 0;
+    FilterColumns([pivot, ties_needed = k_ - below](double p) mutable {
+      if (p < pivot) return true;
+      if (p == pivot && ties_needed > 0) {
+        --ties_needed;
+        return true;
+      }
+      return false;
+    });
   }
 
   size_t k_;
+  // Candidate-buffer capacity (2k): compaction runs every k accepts and
+  // costs O(2k), i.e. amortized O(1) per accepted item.
+  size_t capacity_;
   double initial_threshold_;
-  double threshold_;
-  // Parallel columns forming a max-heap on priority; size <= k_.
-  std::vector<double> priority_;
-  std::vector<Payload> payload_;
+  // The chunked acceptance bound; equals the canonical adaptive threshold
+  // whenever the buffer holds <= k entries. Mutable (with the columns):
+  // canonicalization under const accessors changes the representation,
+  // never the observable state.
+  mutable double threshold_;
+  // Parallel candidate columns; size <= capacity_, <= k when canonical.
+  mutable std::vector<double> priority_;
+  mutable std::vector<Payload> payload_;
+  // Compaction scratch for the nth_element pivot scan (reused across
+  // compactions to avoid per-compaction allocation).
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace ats

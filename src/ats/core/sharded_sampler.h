@@ -17,6 +17,14 @@
 // In independent-priority mode the merged sample is a valid bottom-k
 // sample of the stream (unbiased HT estimates), just not bit-identical to
 // a particular single-store run.
+//
+// Thread-safety: per-shard ingest (AddShardBatch with distinct shard
+// indices) is lock-free safe. Query APIs (Sample, Merged,
+// MergedThreshold, TotalRetained, shard) touch EVERY shard and may
+// canonicalize any shard's compaction store, i.e. they MUTATE state
+// under const (see sample_store.h) -- run queries from one thread, not
+// concurrently with each other or with ingest into ANY shard. Quiesce
+// all ingest threads before querying.
 #ifndef ATS_CORE_SHARDED_SAMPLER_H_
 #define ATS_CORE_SHARDED_SAMPLER_H_
 
@@ -46,14 +54,18 @@ class ShardedSampler {
   void Add(uint64_t key, double weight);
 
   // Batched ingest: partitions the batch into per-shard runs, then feeds
-  // each shard through the pre-filtered SampleStore batch path. Returns
-  // the number of retained items.
+  // each shard through the fused batch pipeline (priorities for the whole
+  // run are computed into a dense column, block-filtered against the
+  // shard's acceptance bound, and accepted candidates appended to its
+  // compaction buffer in amortized O(1)). Returns the number of accepted
+  // items.
   size_t AddBatch(std::span<const Item> items);
 
-  // Feeds a pre-partitioned run straight into one shard. Every item must
-  // route to `shard` (checked in debug builds). Because each shard owns an
-  // independent store, concurrent calls for DIFFERENT shard indices are
-  // safe -- this is the entry point for S ingest threads.
+  // Feeds a pre-partitioned run straight into one shard, through the same
+  // fused batch pipeline -- no per-key hash->Offer round trips. Every
+  // item must route to `shard` (checked in debug builds). Because each
+  // shard owns an independent store, concurrent calls for DIFFERENT shard
+  // indices are safe -- this is the entry point for S ingest threads.
   size_t AddShardBatch(size_t shard, std::span<const Item> items);
 
   // Shard index for a key (a salted hash independent of the priority

@@ -38,7 +38,10 @@ class TimeDecaySampler {
   TimeDecaySampler(size_t k, uint64_t seed);
 
   // Feeds one item at time `time` (non-decreasing). Returns true iff the
-  // item enters the sketch.
+  // item is accepted below the store's current (chunked) acceptance
+  // bound; the next compaction may still drop it if k smaller log-keys
+  // exist (see sample_store.h -- the sample exposed by SampleAt is
+  // unaffected by the chunking).
   bool Add(uint64_t key, double weight, double value, double time);
 
   // The adaptive threshold on the log-key scale (log of the (k+1)-th

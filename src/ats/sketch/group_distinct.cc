@@ -29,7 +29,35 @@ GroupDistinctSketch::GroupDistinctSketch(size_t m, size_t k,
 }
 
 void GroupDistinctSketch::Add(uint64_t group, uint64_t key) {
-  const double priority = GroupKeyPriority(group, key, hash_salt_);
+  AddWithPriority(group, key, GroupKeyPriority(group, key, hash_salt_));
+}
+
+void GroupDistinctSketch::AddBatch(
+    std::span<const Observation> observations) {
+  // Hash a whole block into a dense priority column before routing: the
+  // per-item salt (group-perturbed) keeps coordination within each group
+  // while the straight-line loop vectorizes. Routing consults per-group
+  // state, so the block pre-filter of the plain stores does not apply.
+  constexpr size_t kBlock = 64;
+  double priorities[kBlock];
+  size_t i = 0;
+  for (; i + kBlock <= observations.size(); i += kBlock) {
+    for (size_t j = 0; j < kBlock; ++j) {
+      priorities[j] = GroupKeyPriority(observations[i + j].group,
+                                       observations[i + j].key, hash_salt_);
+    }
+    for (size_t j = 0; j < kBlock; ++j) {
+      AddWithPriority(observations[i + j].group, observations[i + j].key,
+                      priorities[j]);
+    }
+  }
+  for (; i < observations.size(); ++i) {
+    Add(observations[i].group, observations[i].key);
+  }
+}
+
+void GroupDistinctSketch::AddWithPriority(uint64_t group, uint64_t key,
+                                          double priority) {
   auto it = promoted_.find(group);
   if (it == promoted_.end() && promoted_.size() < m_) {
     // Bootstrap: the first m distinct groups get their own sketch.
@@ -38,9 +66,18 @@ void GroupDistinctSketch::Add(uint64_t group, uint64_t key) {
              .first;
   }
   if (it != promoted_.end()) {
-    const double before = it->second.Threshold();
+    // Track the sketch's O(1) acceptance bound, not its canonical
+    // Threshold(): querying the latter would force a store compaction per
+    // accepted offer, forfeiting amortized-O(1) ingest. The bound only
+    // tightens when the store compacts, which is exactly when the
+    // sketch's threshold has dropped in a chunk; between chunks the pool
+    // bound is merely stale-HIGH, which keeps the pool complete (every
+    // item below it was admitted) and all HT estimates valid --
+    // threshold substitutability again.
+    const double bound_before = it->second.store().AcceptBound();
     it->second.OfferPriority(priority, key);
-    if (it->second.Threshold() < before && before >= pool_threshold_) {
+    if (it->second.store().AcceptBound() < bound_before &&
+        bound_before >= pool_threshold_) {
       // The max-threshold sketch may have shrunk: refresh the pool bound.
       RecomputePoolThreshold();
     }
@@ -49,7 +86,18 @@ void GroupDistinctSketch::Add(uint64_t group, uint64_t key) {
   if (priority < pool_threshold_) {
     auto& samples = pool_[group];
     samples.insert(priority);
-    if (samples.size() > k_) MaybePromote(group);
+    if (samples.size() > k_) {
+      MaybePromote(group);
+    } else if (++pool_inserts_since_refresh_ > k_ + 64) {
+      // Staleness backstop. The in-path bound-drop trigger above can be
+      // disarmed when a const query canonicalizes the max-threshold
+      // sketch OUTSIDE AddWithPriority (its bound then sits below the
+      // pool threshold, so no later in-path drop satisfies the trigger).
+      // A frozen stale-high pool threshold stays statistically valid but
+      // lets the pool absorb items a fresh T_max would reject, so cap
+      // the staleness: refresh after every ~k pool insertions.
+      RecomputePoolThreshold();
+    }
   }
 }
 
@@ -84,6 +132,7 @@ void GroupDistinctSketch::DemoteLargestThreshold() {
 }
 
 void GroupDistinctSketch::RecomputePoolThreshold() {
+  pool_inserts_since_refresh_ = 0;
   double t = 1.0;
   if (promoted_.size() >= m_) {
     t = 0.0;

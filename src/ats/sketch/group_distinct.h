@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -45,6 +46,21 @@ class GroupDistinctSketch {
 
   // Feeds one (group, key) observation.
   void Add(uint64_t group, uint64_t key);
+
+  // One (group, key) observation for the batched path.
+  struct Observation {
+    uint64_t group;
+    uint64_t key;
+  };
+
+  // Batched ingest: equivalent to calling Add() on each observation in
+  // order, but the per-(group, key) coordinated hash priorities are
+  // computed for a whole 64-observation block up front (a dense,
+  // vectorizable loop), so the routing stage never re-hashes. Routing
+  // itself cannot be block-pre-filtered -- promoted groups accept above
+  // the pool threshold -- so each observation still consults its group's
+  // sketch, which is an O(1) bound test on the compaction store.
+  void AddBatch(std::span<const Observation> observations);
 
   // Distinct-count estimate for a group (0 when the group has no sampled
   // items -- its true count is below the resolution T_max affords).
@@ -88,6 +104,10 @@ class GroupDistinctSketch {
   }
 
  private:
+  // Shared routing core for Add/AddBatch: `priority` is the observation's
+  // coordinated hash priority (already computed).
+  void AddWithPriority(uint64_t group, uint64_t key, double priority);
+
   void RecomputePoolThreshold();
   void PurgePool();
   void MaybePromote(uint64_t group);
@@ -99,6 +119,10 @@ class GroupDistinctSketch {
   size_t k_;
   uint64_t hash_salt_;
   double pool_threshold_ = 1.0;
+  // Pool insertions since the last RecomputePoolThreshold: bounds how
+  // stale (high) the pool threshold may go under the lazy bound-drop
+  // refresh trigger (see AddWithPriority).
+  size_t pool_inserts_since_refresh_ = 0;
   std::unordered_map<uint64_t, KmvSketch> promoted_;
   // Pool: group -> set of retained hash priorities (dedup per group).
   std::unordered_map<uint64_t, std::set<double>> pool_;

@@ -19,38 +19,34 @@ bool KmvSketch::AddKey(uint64_t key) {
 }
 
 size_t KmvSketch::AddKeys(std::span<const uint64_t> keys) {
+  // Fused hash -> priority -> pre-filter pipeline: each 64-key block is
+  // hashed into a dense priority column first, culled against the store's
+  // acceptance bound with the shared block scan, and only survivors reach
+  // the per-item duplicate check (OfferPriority re-checks the live bound).
   size_t retained = 0;
-  size_t i = 0;
-  double priorities[64];
-  // Full blocks: hash into a dense column, then cull against the
-  // threshold with the shared pre-filter scan before the per-item
-  // duplicate check (OfferPriority re-checks the live threshold).
-  for (; i + 64 <= keys.size(); i += 64) {
-    for (size_t j = 0; j < 64; ++j) {
-      priorities[j] = HashToUnit(HashKey(keys[i + j], hash_salt_));
-    }
-    internal::VisitBlockCandidates(
-        priorities, store_.Threshold(), [&](size_t j) {
-          retained += OfferPriority(priorities[j], keys[i + j]) ? 1 : 0;
-        });
-  }
-  for (; i < keys.size(); ++i) {
-    retained += AddKey(keys[i]) ? 1 : 0;
-  }
+  internal::VisitHashedCandidates(
+      keys, hash_salt_, [this] { return store_.AcceptBound(); },
+      [&](double priority, uint64_t key) {
+        retained += OfferPriority(priority, key) ? 1 : 0;
+      });
   return retained;
 }
 
 bool KmvSketch::OfferPriority(double priority, uint64_t key) {
-  if (priority >= store_.Threshold()) return false;
+  // Test against the O(1) chunked acceptance bound, not the canonical
+  // Threshold(): the latter would force a buffer compaction per call,
+  // defeating the store's amortized-O(1) ingest.
+  if (priority >= store_.AcceptBound()) return false;
   if (!seen_.insert(std::bit_cast<uint64_t>(priority)).second) {
-    return true;  // duplicate key: already retained (it is below theta)
+    return true;  // duplicate key: already accepted (it is below theta)
   }
   const bool retained = store_.Offer(priority, key);
-  // Evicted priorities in seen_ are harmless (they sit at/above theta and
-  // are rejected before the set is consulted) but they accumulate over a
-  // long stream; rebuilding from the retained set once the slack exceeds
-  // ~k keeps memory at O(k) with amortized O(1) cost per accepted offer.
-  if (seen_.size() > 2 * store_.size() + 64) CompactSeen();
+  // Dropped priorities in seen_ are harmless (they sit at/above the
+  // acceptance bound and are rejected before the set is consulted) but
+  // they accumulate over a long stream; rebuilding from the retained set
+  // once the slack exceeds ~k keeps memory at O(k) with amortized O(1)
+  // cost per accepted offer.
+  if (seen_.size() > 2 * store_.k() + 64) CompactSeen();
   return retained;
 }
 

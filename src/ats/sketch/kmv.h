@@ -44,14 +44,18 @@ class KmvSketch {
                      uint64_t hash_salt = 0);
 
   // Feeds one key (duplicates are ignored -- coordinated hashing makes the
-  // priority a function of the key). Returns true iff the key's priority
-  // is currently retained.
+  // priority a function of the key). Amortized O(1): acceptance tests the
+  // store's chunked bound and accepted priorities are appended, not
+  // heap-sifted. Returns true iff the key's priority is accepted below
+  // the current bound.
   bool AddKey(uint64_t key);
 
-  // Batched ingest: equivalent to calling AddKey() on each key in order,
-  // but hashes into a dense priority column and block-filters against the
-  // threshold before touching the store. Returns the number of keys whose
-  // priority is retained afterwards (duplicates of retained keys count).
+  // Batched ingest: equivalent to calling AddKey() on each key in order
+  // (same state, same acceptance count), but runs the fused
+  // hash->priority->pre-filter pipeline: each 64-key block is hashed into
+  // a dense priority column and culled against the acceptance bound
+  // before the per-key duplicate check. Returns the number of keys whose
+  // priority is accepted (duplicates of accepted keys count).
   size_t AddKeys(std::span<const uint64_t> keys);
 
   // Feeds a pre-computed unit-interval priority directly (used by merges

@@ -22,6 +22,11 @@ void ThetaSketch::AddKey(uint64_t key) {
   kmv_.AddKey(key);
 }
 
+size_t ThetaSketch::AddKeys(std::span<const uint64_t> keys) {
+  ATS_CHECK_MSG(!union_mode_, "cannot add keys to a union result");
+  return kmv_.AddKeys(keys);
+}
+
 double ThetaSketch::Theta() const {
   return union_mode_ ? union_theta_ : kmv_.Threshold();
 }

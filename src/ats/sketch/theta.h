@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +34,11 @@ class ThetaSketch {
   explicit ThetaSketch(size_t k, uint64_t hash_salt = 0);
 
   void AddKey(uint64_t key);
+
+  // Batched ingest through the fused hash->priority->pre-filter pipeline
+  // (KmvSketch::AddKeys): equivalent to an AddKey loop in stream order.
+  // Returns the number of keys accepted below the current theta.
+  size_t AddKeys(std::span<const uint64_t> keys);
 
   double Theta() const;
   size_t size() const;

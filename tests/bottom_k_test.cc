@@ -91,8 +91,15 @@ TEST(BottomK, DuplicatePrioritiesAllowed) {
   BottomK<int> sketch(2);
   EXPECT_TRUE(sketch.Offer(0.5, 1));
   EXPECT_TRUE(sketch.Offer(0.5, 2));
-  EXPECT_FALSE(sketch.Offer(0.5, 3));  // becomes the threshold
+  // A third tie may still be buffered under the chunked acceptance
+  // bound, but the canonical state is exact: two retained entries and
+  // the tie value as the (k+1)-th-smallest threshold.
+  sketch.Offer(0.5, 3);
   EXPECT_DOUBLE_EQ(sketch.Threshold(), 0.5);
+  EXPECT_EQ(sketch.size(), 2u);
+  // Once the bound is canonical, further ties are rejected outright.
+  EXPECT_FALSE(sketch.Offer(0.5, 4));
+  EXPECT_EQ(sketch.size(), 2u);
 }
 
 // --- Priority sampling (weighted bottom-k) properties ---

@@ -45,13 +45,20 @@ TEST(EdgeCases, BottomKDescendingStream) {
 }
 
 TEST(EdgeCases, BottomKAscendingStream) {
-  // No arrival after the k-th is ever retained.
+  // No arrival after the k-th is ever retained in the canonical state.
+  // Acceptance is chunked: arrivals 4..2k are buffered until the first
+  // compaction tightens the bound to the (k+1)-th smallest; after that
+  // every later (larger) arrival is rejected outright.
   BottomK<int> sketch(3);
   for (int i = 1; i <= 100; ++i) {
-    const bool kept = sketch.Offer(0.001 * i, i);
-    EXPECT_EQ(kept, i <= 3);
+    const bool accepted = sketch.Offer(0.001 * i, i);
+    if (i <= 3) EXPECT_TRUE(accepted);
+    if (i > 6) EXPECT_FALSE(accepted) << i;  // past the 2k warm-up buffer
   }
   EXPECT_DOUBLE_EQ(sketch.Threshold(), 0.004);
+  const auto entries = sketch.SortedEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries.back().priority, 0.003);
 }
 
 TEST(EdgeCases, EmptySampleEstimatesAreZero) {

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,35 @@ TEST(GroupDistinct, PromotesLargeGroupsFromPool) {
   for (uint64_t i = 0; i < 5000; ++i) sketch.Add(2, i);
   EXPECT_TRUE(sketch.IsPromoted(2));
   EXPECT_NEAR(sketch.Estimate(2), 5000.0, 2500.0);
+}
+
+TEST(GroupDistinct, AddBatchMatchesScalarAddLoop) {
+  // The batched path (block-hashed priorities, shared routing core) must
+  // be exactly an Add loop in stream order: same promotions, same pool
+  // threshold, same estimates -- partial tail blocks included.
+  ZipfGenerator groups(500, 1.2, 21);
+  Xoshiro256 rng(22);
+  std::vector<GroupDistinctSketch::Observation> stream(10000);
+  for (auto& obs : stream) {
+    obs.group = groups.Next();
+    obs.key = rng.NextBelow(3000);
+  }
+  for (size_t n : {0u, 1u, 63u, 64u, 200u, 10000u}) {
+    GroupDistinctSketch batched(8, 32), scalar(8, 32);
+    batched.AddBatch(std::span(stream.data(), n));
+    for (size_t i = 0; i < n; ++i) {
+      scalar.Add(stream[i].group, stream[i].key);
+    }
+    EXPECT_DOUBLE_EQ(batched.PoolThreshold(), scalar.PoolThreshold())
+        << "n=" << n;
+    EXPECT_EQ(batched.StoredItems(), scalar.StoredItems()) << "n=" << n;
+    EXPECT_EQ(batched.GroupsWithSamples(), scalar.GroupsWithSamples())
+        << "n=" << n;
+    for (uint64_t g : batched.GroupsWithSamples()) {
+      EXPECT_DOUBLE_EQ(batched.Estimate(g), scalar.Estimate(g))
+          << "n=" << n << " group=" << g;
+    }
+  }
 }
 
 TEST(GroupDistinct, PoolThresholdMonotoneNonIncreasing) {

@@ -2,7 +2,9 @@
 // dedup, merge == single-stream, and the Section 3.4 weighted variant.
 #include "ats/sketch/kmv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -106,6 +108,45 @@ TEST(Kmv, InitialThresholdPreFilters) {
   EXPECT_LT(sketch.size(), 320u);
   // Estimate still unbiased-ish around 20000.
   EXPECT_NEAR(sketch.Estimate(), 20000.0, 6000.0);
+}
+
+TEST(Kmv, AddKeysMatchesScalarAddKeyLoop) {
+  // The fused hash->priority->pre-filter pipeline must be exactly an
+  // AddKey loop in stream order: same members, same threshold, same
+  // acceptance count -- duplicates and partial tail blocks included.
+  std::vector<uint64_t> keys(20000);
+  Xoshiro256 rng(77);
+  for (auto& key : keys) key = rng.NextBelow(9000);  // heavy duplicates
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 20000u}) {
+    const std::span<const uint64_t> prefix(keys.data(), n);
+    KmvSketch batched(128, 1.0, 9), scalar(128, 1.0, 9);
+    const size_t batch_accepted = batched.AddKeys(prefix);
+    size_t scalar_accepted = 0;
+    for (uint64_t key : prefix) scalar_accepted += scalar.AddKey(key) ? 1 : 0;
+    EXPECT_EQ(batch_accepted, scalar_accepted) << "n=" << n;
+    EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold()) << "n=" << n;
+    EXPECT_EQ(batched.members(), scalar.members()) << "n=" << n;
+  }
+}
+
+TEST(Kmv, AddKeysChunkingIsInvariant) {
+  // Feeding the same stream in odd-sized chunks must not change anything
+  // (the acceptance bound tightens at different points, but canonical
+  // state is chunk-invariant).
+  std::vector<uint64_t> keys(10000);
+  Xoshiro256 rng(78);
+  for (auto& key : keys) key = rng.NextBelow(4000);
+  KmvSketch whole(64), chunked(64);
+  whole.AddKeys(keys);
+  size_t i = 0, chunk = 1;
+  while (i < keys.size()) {
+    const size_t len = std::min(chunk, keys.size() - i);
+    chunked.AddKeys(std::span(keys).subspan(i, len));
+    i += len;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_DOUBLE_EQ(chunked.Threshold(), whole.Threshold());
+  EXPECT_EQ(chunked.members(), whole.members());
 }
 
 TEST(Kmv, ThresholdMonotoneDecreasing) {

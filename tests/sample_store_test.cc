@@ -1,10 +1,13 @@
 // Tests for ats/core/sample_store.h: the shared SoA bottom-k retention
-// engine. Covers batched-vs-scalar offer equivalence (the OfferBatch
-// pre-filter must be a pure optimization), threshold primitives, and
-// aliasing-safe merges.
+// engine (compaction-buffer design). Covers batched-vs-scalar offer
+// equivalence (the OfferBatch pre-filter and the fused hashed pipeline
+// must be pure optimizations), the chunked-acceptance contract,
+// threshold primitives, aliasing-safe merges, and a randomized
+// differential sweep against a naive sorted-vector oracle.
 #include "ats/core/sample_store.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -143,6 +146,229 @@ TEST(SampleStore, SelfMergeIsANoOp) {
 
   EXPECT_DOUBLE_EQ(store.Threshold(), threshold_before);
   EXPECT_EQ(Snapshot(store), before);
+}
+
+TEST(SampleStore, ChunkedAcceptanceKeepsCanonicalStateExact) {
+  // Offer() acceptance is chunked: while the bound has not tightened, a
+  // tie that a per-offer reference would reject is still buffered -- but
+  // every canonicalizing accessor must report exactly the reference
+  // state (same retained multiset, same threshold).
+  SampleStore<uint64_t> store(2);
+  EXPECT_TRUE(store.Offer(0.5, 1));
+  EXPECT_TRUE(store.Offer(0.5, 2));
+  EXPECT_TRUE(store.Offer(0.5, 3));  // buffered under the chunked bound
+  EXPECT_DOUBLE_EQ(store.Threshold(), 0.5);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.saturated());
+  // After canonicalization the bound is tight again: ties are rejected.
+  EXPECT_FALSE(store.Offer(0.5, 4));
+}
+
+TEST(SampleStore, AcceptBoundDominatesCanonicalThreshold) {
+  SampleStore<uint64_t> store(8);
+  Xoshiro256 rng(11);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    store.Offer(rng.NextDoubleOpenZero(), i);
+    const double bound = store.AcceptBound();  // O(1), possibly stale
+    ASSERT_GE(bound, store.Threshold());       // canonicalizes
+    // Once canonical, the bound IS the threshold.
+    ASSERT_DOUBLE_EQ(store.AcceptBound(), store.Threshold());
+  }
+}
+
+TEST(SampleStore, HashedBatchOfferMatchesScalarHashLoop) {
+  // The fused hash->priority->pre-filter pipeline must be exactly a
+  // scalar hash-then-offer loop: same state, same acceptance count --
+  // duplicate keys included (the raw store does not deduplicate).
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i % 7000;
+  for (uint64_t salt : {0u, 42u}) {
+    SampleStore<uint64_t> batched(128), scalar(128);
+    const size_t batch_accepted = batched.HashedBatchOffer(keys, salt);
+    size_t scalar_accepted = 0;
+    for (uint64_t key : keys) {
+      scalar_accepted +=
+          scalar.Offer(HashToUnit(HashKey(key, salt)), key) ? 1 : 0;
+    }
+    EXPECT_EQ(batch_accepted, scalar_accepted) << "salt=" << salt;
+    EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
+    EXPECT_EQ(Snapshot(batched), Snapshot(scalar));
+  }
+}
+
+// --- Randomized differential sweep against a naive oracle --------------
+
+// Naive sorted-vector scalar reference: retains the k smallest priorities
+// ever offered below the threshold; the threshold is min(initial, the
+// (k+1)-th smallest priority ever offered). This is the per-offer
+// semantics the compaction store must be observably equivalent to.
+class OracleStore {
+ public:
+  explicit OracleStore(size_t k, double initial = kInfiniteThreshold)
+      : k_(k), initial_(initial), threshold_(initial) {}
+
+  void Offer(double priority) {
+    if (priority >= threshold_) return;
+    retained_.insert(
+        std::upper_bound(retained_.begin(), retained_.end(), priority),
+        priority);
+    if (retained_.size() > k_) {
+      threshold_ = std::min(threshold_, retained_.back());
+      retained_.pop_back();
+    }
+  }
+
+  void LowerThreshold(double t) {
+    if (t >= threshold_) return;
+    threshold_ = t;
+    Purge();
+  }
+
+  // Mirrors SampleStore::Merge: min thresholds, re-offer the other side's
+  // retained set, then purge strictly at the merged threshold.
+  void Merge(const OracleStore& other) {
+    if (&other == this) return;
+    initial_ = std::min(initial_, other.initial_);
+    LowerThreshold(other.threshold_);
+    for (double p : other.retained_) Offer(p);
+    Purge();
+  }
+
+  double threshold() const { return threshold_; }
+  bool saturated() const { return threshold_ < initial_; }
+  const std::vector<double>& retained() const { return retained_; }
+
+ private:
+  void Purge() {
+    retained_.erase(
+        std::lower_bound(retained_.begin(), retained_.end(), threshold_),
+        retained_.end());
+  }
+
+  size_t k_;
+  double initial_;
+  double threshold_;
+  std::vector<double> retained_;  // ascending
+};
+
+// store: exercised with batched ops; twin: the same stream through scalar
+// Offers only; oracle: the sorted-vector reference. `by_id` maps payload
+// ids back to the priority they were offered with (column-lockstep
+// check that survives duplicate priorities).
+void ExpectStoreMatchesOracle(const SampleStore<uint64_t>& store,
+                              const SampleStore<uint64_t>& twin,
+                              const OracleStore& oracle,
+                              const std::vector<double>& by_id) {
+  ASSERT_DOUBLE_EQ(store.Threshold(), oracle.threshold());
+  ASSERT_DOUBLE_EQ(twin.Threshold(), oracle.threshold());
+  ASSERT_EQ(store.saturated(), oracle.saturated());
+  ASSERT_EQ(store.size(), oracle.retained().size());
+  ASSERT_EQ(twin.size(), oracle.retained().size());
+  auto sorted = store.priorities();
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sorted, oracle.retained());
+  auto twin_sorted = twin.priorities();
+  std::sort(twin_sorted.begin(), twin_sorted.end());
+  ASSERT_EQ(twin_sorted, oracle.retained());
+  for (size_t i = 0; i < store.size(); ++i) {
+    ASSERT_DOUBLE_EQ(by_id[store.payloads()[i]], store.priorities()[i]);
+  }
+}
+
+TEST(SampleStore, DifferentialVsSortedVectorOracle) {
+  // Mixed Offer / OfferBatch / Merge / LowerThreshold sequences with
+  // heavy duplicate-priority pressure, swept over seeds and k down to 1.
+  for (size_t k : {1u, 2u, 7u, 33u}) {
+    for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+      Xoshiro256 rng(seed * 977 + k);
+      SampleStore<uint64_t> store(k), twin(k), side(k), side_twin(k);
+      OracleStore oracle(k), side_oracle(k);
+      std::vector<double> by_id;
+
+      // Half continuous draws, half from a tiny grid so that duplicate
+      // priorities (including ties at the threshold) are common.
+      auto gen_priority = [&rng] {
+        if (rng.NextBelow(2) == 0) return rng.NextDoubleOpenZero();
+        return 0.03 * static_cast<double>(1 + rng.NextBelow(32));
+      };
+
+      for (int op = 0; op < 300; ++op) {
+        switch (rng.NextBelow(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: {  // scalar burst into the main stores
+            const size_t n = 1 + rng.NextBelow(8);
+            for (size_t j = 0; j < n; ++j) {
+              const double p = gen_priority();
+              const uint64_t id = by_id.size();
+              by_id.push_back(p);
+              ASSERT_EQ(store.Offer(p, id), twin.Offer(p, id));
+              oracle.Offer(p);
+            }
+            break;
+          }
+          case 4:
+          case 5:
+          case 6: {  // batch into store, scalar loop into twin
+            const size_t n = 1 + rng.NextBelow(200);
+            std::vector<double> ps(n);
+            std::vector<uint64_t> ids(n);
+            for (size_t j = 0; j < n; ++j) {
+              ps[j] = gen_priority();
+              ids[j] = by_id.size();
+              by_id.push_back(ps[j]);
+            }
+            const size_t batch_accepted = store.OfferBatch(ps, ids);
+            size_t scalar_accepted = 0;
+            for (size_t j = 0; j < n; ++j) {
+              scalar_accepted += twin.Offer(ps[j], ids[j]) ? 1 : 0;
+              oracle.Offer(ps[j]);
+            }
+            ASSERT_EQ(batch_accepted, scalar_accepted);
+            break;
+          }
+          case 7: {  // feed the side stores (future merge input)
+            const size_t n = 1 + rng.NextBelow(100);
+            for (size_t j = 0; j < n; ++j) {
+              const double p = gen_priority();
+              const uint64_t id = by_id.size();
+              by_id.push_back(p);
+              side.Offer(p, id);
+              side_twin.Offer(p, id);
+              side_oracle.Offer(p);
+            }
+            break;
+          }
+          case 8: {  // merge the side stream in, then restart it
+            store.Merge(side);
+            twin.Merge(side_twin);
+            oracle.Merge(side_oracle);
+            side = SampleStore<uint64_t>(k);
+            side_twin = SampleStore<uint64_t>(k);
+            side_oracle = OracleStore(k);
+            break;
+          }
+          case 9: {  // external threshold composition / self-merge
+            if (rng.NextBelow(2) == 0) {
+              const double t = gen_priority();
+              store.LowerThreshold(t);
+              twin.LowerThreshold(t);
+              oracle.LowerThreshold(t);
+            } else {
+              store.Merge(store);
+              twin.Merge(twin);
+            }
+            break;
+          }
+        }
+        if (op % 23 == 0) {
+          ExpectStoreMatchesOracle(store, twin, oracle, by_id);
+        }
+      }
+      ExpectStoreMatchesOracle(store, twin, oracle, by_id);
+    }
+  }
 }
 
 TEST(SampleStore, ColumnsStayInLockstep) {

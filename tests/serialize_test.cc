@@ -287,6 +287,38 @@ TEST(KmvSerialize, HostileCapacityFieldDoesNotAbort) {
   EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
 }
 
+TEST(BottomKSerialize, HostileCapacityFieldDoesNotAbort) {
+  // Same guarantee for the generic bottom-k frame, which now backs a
+  // compaction store with a 2k candidate buffer: a header claiming
+  // k = 2^60 must not make the receiver eagerly reserve 2k slots
+  // (internal::kMaxEagerReserve caps every up-front reservation), and the
+  // restored store must keep ingesting correctly.
+  BottomK<uint64_t> sketch(16);
+  Xoshiro256 rng(5);
+  for (uint64_t i = 0; i < 200; ++i) sketch.Offer(rng.NextDoubleOpenZero(), i);
+  std::string bytes = sketch.SerializeToString();
+
+  // Patch k (u64 at offset 8, after the magic/version header) and redo
+  // the trailing checksum.
+  const uint64_t huge_k = uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 8, &huge_k, sizeof(huge_k));
+  std::string body = bytes.substr(0, bytes.size() - 4);
+  const uint32_t checksum = FrameChecksum(body);
+  std::memcpy(bytes.data() + body.size(), &checksum, sizeof(checksum));
+
+  const auto restored = BottomK<uint64_t>::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());  // a huge capacity is legal...
+  EXPECT_EQ(restored->k(), size_t{1} << 60);
+  EXPECT_EQ(restored->size(), sketch.size());  // ...entries are bounded
+  EXPECT_DOUBLE_EQ(restored->Threshold(), sketch.Threshold());
+  // The (never-compacting, k >> stream) store still accepts below the
+  // shipped threshold and rejects at or above it.
+  auto patched = *restored;
+  const double threshold = patched.Threshold();
+  EXPECT_FALSE(patched.Offer(threshold, 777));
+  EXPECT_TRUE(patched.Offer(threshold / 2, 778));
+}
+
 TEST(KmvSerialize, SingleFlippedByteAnywhereIsRejected) {
   // The frame checksum catches corruption that field validation cannot
   // (e.g. a flipped bit inside the k field still yields a plausible k).

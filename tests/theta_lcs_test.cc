@@ -25,6 +25,17 @@ TEST(Theta, SingleStreamMatchesKmv) {
   EXPECT_DOUBLE_EQ(theta.Theta(), kmv.Threshold());
 }
 
+TEST(Theta, AddKeysMatchesScalarAddKeyLoop) {
+  std::vector<uint64_t> keys(5000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i % 3000;
+  ThetaSketch batched(64), scalar(64);
+  batched.AddKeys(keys);
+  for (uint64_t key : keys) scalar.AddKey(key);
+  EXPECT_DOUBLE_EQ(batched.Theta(), scalar.Theta());
+  EXPECT_EQ(batched.size(), scalar.size());
+  EXPECT_EQ(batched.RetainedPriorities(), scalar.RetainedPriorities());
+}
+
 TEST(Theta, UnionEstimatesUnionSize) {
   const auto sets = MakeSetPairWithJaccard(20000, 40000, 0.1, 1);
   ThetaSketch a(128), b(128);
