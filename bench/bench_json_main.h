@@ -44,6 +44,18 @@ inline int RunBenchmarksWithJsonFlag(int argc, char** argv,
 #else
   benchmark::AddCustomContext("ats_build_type", "debug");
 #endif
+  // Disambiguate the stock key explicitly: a Release bench tree linked
+  // against a distro-packaged google-benchmark (compiled without NDEBUG,
+  // e.g. Debian's libbenchmark-dev) still prints
+  // `library_build_type: debug`, which describes only the harness
+  // library, never the measured code. Building benchmark from a local
+  // source tree (see ATS_BENCHMARK_SOURCE_DIR in CMakeLists.txt) makes
+  // the two agree; when that is impossible -- no checkout available,
+  // no network -- this note keeps baseline JSONs self-explanatory.
+  benchmark::AddCustomContext(
+      "library_build_type_note",
+      "library_build_type describes the linked google-benchmark library, "
+      "not the measured code; ats_build_type is authoritative");
   if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
     return 1;
   }

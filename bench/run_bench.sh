@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the google-benchmark binaries in a DEDICATED Release tree and
 # writes machine-readable JSON results (BENCH_throughput.json,
-# BENCH_sharded.json) into the repo root, so successive PRs can track the
-# perf trajectory.
+# BENCH_sharded.json, BENCH_merge.json) into the repo root, so
+# successive PRs can track the perf trajectory.
 #
 # The build directory defaults to build-release/ (NOT the dev build/):
 # reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
@@ -10,8 +10,12 @@
 # then verifies the cache before trusting the binaries. The emitted JSON
 # also carries an `ats_build_type` context entry (see bench_json_main.h)
 # so a baseline file is self-describing; the stock `library_build_type`
-# key only describes the system benchmark library (Debian ships it as
-# "debug"), not this code.
+# key only describes the google-benchmark LIBRARY the binaries link.
+# When that library is a distro package (Debian compiles it without
+# NDEBUG) it reads "debug" even in this Release tree -- point
+# -DATS_BENCHMARK_SOURCE_DIR at a local google-benchmark checkout to
+# build it Release in-tree; otherwise the JSON carries an explanatory
+# `library_build_type_note` so the contradiction cannot mislead.
 #
 # Usage: bench/run_bench.sh [build-dir]
 set -euo pipefail
@@ -26,7 +30,8 @@ then
   echo "error: $BUILD_DIR is not configured as a Release tree" >&2
   exit 1
 fi
-cmake --build "$BUILD_DIR" -j --target bench_throughput bench_sharded
+cmake --build "$BUILD_DIR" -j \
+      --target bench_throughput bench_sharded bench_merge
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -34,13 +39,29 @@ cmake --build "$BUILD_DIR" -j --target bench_throughput bench_sharded
 "$BUILD_DIR/bench/bench_sharded" \
     --json="$REPO_ROOT/BENCH_sharded.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_merge" \
+    --json="$REPO_ROOT/BENCH_merge.json" \
+    --benchmark_min_time=0.1
 
-for out in "$REPO_ROOT/BENCH_throughput.json" "$REPO_ROOT/BENCH_sharded.json"
+for out in "$REPO_ROOT/BENCH_throughput.json" \
+           "$REPO_ROOT/BENCH_sharded.json" \
+           "$REPO_ROOT/BENCH_merge.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
     exit 1
   fi
+  # The stock library_build_type key reflects the linked google-benchmark
+  # LIBRARY (distro packages report "debug" even in this Release tree).
+  # Require the explanatory note so no baseline ever shows that
+  # contradiction unexplained -- this guards against the note being
+  # dropped from bench_json_main.h, not against a particular library.
+  if ! grep -q '"library_build_type_note"' "$out"; then
+    echo "error: $out lacks the library_build_type_note context entry" \
+         "(see bench_json_main.h)" >&2
+    exit 1
+  fi
 done
 
-echo "Wrote $REPO_ROOT/BENCH_throughput.json and $REPO_ROOT/BENCH_sharded.json"
+echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
+     "$REPO_ROOT/BENCH_sharded.json and $REPO_ROOT/BENCH_merge.json"

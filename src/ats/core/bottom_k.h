@@ -30,12 +30,15 @@
 namespace ats {
 
 // Writes/reads a bottom-k payload on the wire. Specialize for payload
-// types that need to cross serialization boundaries.
+// types that need to cross serialization boundaries. `kWireSize` is the
+// fixed encoded size in bytes; the zero-copy frame view relies on it to
+// bounds-check a whole entry region with one size comparison.
 template <typename Payload>
 struct PayloadCodec;
 
 template <>
 struct PayloadCodec<uint64_t> {
+  static constexpr size_t kWireSize = sizeof(uint64_t);
   static void Write(ByteWriter& w, uint64_t v) { w.WriteU64(v); }
   static std::optional<uint64_t> Read(ByteReader& r) { return r.ReadU64(); }
 };
@@ -116,6 +119,19 @@ class BottomK {
   // Merging a sketch with itself is a no-op (aliasing-safe).
   void Merge(const BottomK& other) { store_.Merge(other.store_); }
 
+  // Threshold-pruned k-way union: observationally identical to merging
+  // the inputs with Merge() in span order, but the global acceptance
+  // bound (min of all input thresholds) is taken first and each input is
+  // block-prefiltered against it, finishing in a single selection
+  // instead of S sequential merge+compaction rounds (see
+  // SampleStore::MergeMany). Inputs aliasing `this` are skipped.
+  void MergeMany(std::span<const BottomK* const> others) {
+    std::vector<const SampleStore<Payload>*> stores;
+    stores.reserve(others.size());
+    for (const BottomK* o : others) stores.push_back(&o->store_);
+    store_.MergeMany(stores);  // skips the store aliasing `this`
+  }
+
   // Removes retained entries with priority >= Threshold(). Needed after
   // merges or external threshold reductions.
   void PurgeAboveThreshold() { store_.PurgeAboveThreshold(); }
@@ -128,12 +144,24 @@ class BottomK {
   const SampleStore<Payload>& store() const { return store_; }
 
   // Wire format (requires a PayloadCodec<Payload> specialization).
+  // Only entries strictly below the threshold travel: after a
+  // duplicate-priority warm-up (and before any purge) the canonical
+  // retained set may hold entries tied AT the threshold, which are not
+  // members of the threshold sample at that bound -- and which the
+  // strict `priority < threshold` wire validation would rightly reject,
+  // making the frame unparseable.
   void SerializeTo(ByteWriter& w) const {
     WriteSketchHeader(w, kMagic, kVersion);
     w.WriteU64(store_.k());
-    w.WriteDouble(store_.Threshold());
-    w.WriteU64(store_.size());
+    const double t = store_.Threshold();
+    w.WriteDouble(t);
+    uint64_t count = 0;
     for (size_t i = 0; i < store_.size(); ++i) {
+      count += store_.priorities()[i] < t ? 1 : 0;
+    }
+    w.WriteU64(count);
+    for (size_t i = 0; i < store_.size(); ++i) {
+      if (!(store_.priorities()[i] < t)) continue;
       w.WriteDouble(store_.priorities()[i]);
       PayloadCodec<Payload>::Write(w, store_.payloads()[i]);
     }
@@ -164,6 +192,133 @@ class BottomK {
   std::string SerializeToString() const { return SerializeSketch(*this); }
   static std::optional<BottomK> Deserialize(std::string_view bytes) {
     return DeserializeSketch<BottomK>(bytes);
+  }
+
+  // Zero-copy read-only view over a whole serialized frame (the
+  // SerializeToString layout, trailing checksum included). Parsing
+  // validates everything Deserialize validates -- checksum, header,
+  // field ranges, every entry -- but materializes nothing: the entry
+  // region stays a bounds-checked span over the caller's bytes, decoded
+  // lazily per access. This is what lets MergeManyFrames aggregate a
+  // large fan-in of wire sketches without ever building the per-frame
+  // vectors a Deserialize+Merge chain would (each frame's bytes are
+  // copied at most once: accepted survivors into the accumulator).
+  //
+  // The view borrows the frame's storage; it must not outlive the bytes.
+  class FrameView {
+   public:
+    size_t k() const { return static_cast<size_t>(k_); }
+    double threshold() const { return threshold_; }
+    size_t size() const { return entries_.size() / kStride; }
+
+    double priority(size_t i) const {
+      ATS_DCHECK(i < size());
+      double p;
+      std::memcpy(&p, entries_.data() + i * kStride, sizeof(p));
+      return p;
+    }
+
+    Payload payload(size_t i) const {
+      ATS_DCHECK(i < size());
+      ByteReader r(entries_.substr(i * kStride + sizeof(double),
+                                   PayloadCodec<Payload>::kWireSize));
+      return *PayloadCodec<Payload>::Read(r);  // validated by Parse
+    }
+
+   private:
+    friend class BottomK;
+    static constexpr size_t kStride =
+        sizeof(double) + PayloadCodec<Payload>::kWireSize;
+
+    uint64_t k_ = 0;
+    double threshold_ = kInfiniteThreshold;
+    std::string_view entries_;
+  };
+
+  // Parses `frame` (a SerializeToString buffer) into a FrameView.
+  // Returns nullopt on exactly the inputs Deserialize rejects: bad
+  // checksum, truncation, foreign magic or future version, k < 1, NaN
+  // threshold, count > k, an entry at/above the threshold, an invalid
+  // payload, or trailing bytes. A frame declaring a huge k is fine as
+  // long as its entry count is consistent -- the view allocates nothing,
+  // so hostile capacity claims cannot reserve memory here (the
+  // kMaxEagerReserve cap protects the Deserialize path the same way).
+  static std::optional<FrameView> DeserializeView(std::string_view frame) {
+    auto r = OpenCheckedFrame(frame, kMagic, kVersion);
+    if (!r) return std::nullopt;
+    const auto k = r->ReadU64();
+    const auto threshold = r->ReadDouble();
+    const auto count = r->ReadU64();
+    if (!k || !threshold || !count) return std::nullopt;
+    if (*k < 1 || std::isnan(*threshold) || *count > *k) return std::nullopt;
+    FrameView view;
+    view.k_ = *k;
+    view.threshold_ = *threshold;
+    // Fixed-stride entry region: one size comparison bounds-checks every
+    // entry (an oversized or truncated region is a framing error); the
+    // first clause keeps the multiplication overflow-free.
+    const std::string_view entries = r->Rest();
+    if (*count > entries.size() / FrameView::kStride ||
+        entries.size() != *count * FrameView::kStride) {
+      return std::nullopt;
+    }
+    view.entries_ = entries;
+    for (size_t i = 0; i < view.size(); ++i) {
+      const double p = view.priority(i);
+      if (!(p < view.threshold_)) return std::nullopt;  // NaN included
+      ByteReader pr(view.entries_.substr(
+          i * FrameView::kStride + sizeof(double),
+          PayloadCodec<Payload>::kWireSize));
+      if (!PayloadCodec<Payload>::Read(pr).has_value()) return std::nullopt;
+    }
+    return view;
+  }
+
+  // Threshold-pruned k-way union straight off the wire: observationally
+  // identical to deserializing every frame and merging the results with
+  // Merge() in span order, but zero-copy (see FrameView) and pruned by
+  // the global min threshold before any entry is decoded into the store.
+  // Returns false -- leaving the sketch observably unchanged -- if ANY
+  // frame fails validation; all frames are vetted before the first one
+  // is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames) {
+    std::vector<FrameView> views;
+    views.reserve(frames.size());
+    for (std::string_view f : frames) {
+      auto view = DeserializeView(f);
+      if (!view) return false;
+      views.push_back(*view);
+    }
+    // No inputs: strict no-op, like a zero-length Deserialize+Merge
+    // chain (the closing purge below would otherwise drop retained
+    // entries tied AT the threshold, which no pairwise merge ran to
+    // justify).
+    if (views.empty()) return true;
+    double bound = store_.Threshold();
+    for (const FrameView& v : views) bound = std::min(bound, v.threshold());
+    store_.LowerThreshold(bound);
+    alignas(64) double block[internal::kIngestBlock];
+    for (const FrameView& v : views) {
+      const size_t n = v.size();
+      size_t i = 0;
+      for (; i + internal::kIngestBlock <= n;
+           i += internal::kIngestBlock) {
+        // Gather the block's priorities into a dense column, then reuse
+        // the batched-ingest pre-filter; only survivors decode payloads.
+        for (size_t j = 0; j < internal::kIngestBlock; ++j) {
+          block[j] = v.priority(i + j);
+        }
+        internal::VisitBlockCandidates(
+            block, store_.AcceptBound(),
+            [&](size_t j) { store_.Offer(block[j], v.payload(i + j)); });
+      }
+      for (; i < n; ++i) {
+        const double p = v.priority(i);
+        if (p < store_.AcceptBound()) store_.Offer(p, v.payload(i));
+      }
+    }
+    store_.PurgeAboveThreshold();
+    return true;
   }
 
  private:
@@ -238,6 +393,7 @@ static_assert(MergeableSketch<PrioritySampler>);
 // the generic BottomK frame (one copy of the entry validation logic).
 template <>
 struct PayloadCodec<PrioritySampler::Item> {
+  static constexpr size_t kWireSize = sizeof(uint64_t) + sizeof(double);
   static void Write(ByteWriter& w, const PrioritySampler::Item& item) {
     w.WriteU64(item.key);
     w.WriteDouble(item.weight);

@@ -39,12 +39,16 @@
 // dense double column lets the batched path scan candidates with
 // branch-free vectorizable compares.
 //
-// Thread-safety note: canonicalization mutates the representation (not
-// the observable state) under `const` accessors, so concurrent reads of
-// the SAME store are only safe once it is canonical (e.g. after an
-// explicit Threshold()/size() call with no interleaved ingest). Distinct
-// stores (one per shard) remain independent, which is what the sharded
-// front-end relies on.
+// Thread-safety: canonicalization mutates the representation (never the
+// observable state) through `mutable` members, so the canonicalizing
+// `const` accessors are NOT safe to call concurrently on the SAME store.
+// The explicit contract is Canonicalize(): call it once after ingest
+// quiesces, and until the next mutating call every `const` accessor is a
+// pure read (the compaction early-out leaves the representation
+// untouched), so concurrent readers are safe. Distinct stores (one per
+// shard) remain independent, which is what the sharded front-end relies
+// on. mutation_epoch() lets query-side caches detect whether a store has
+// observably changed without forcing a canonicalization.
 //
 // Every container that previously hand-rolled its own heap + threshold
 // (BottomK, PrioritySampler, KmvSketch, ThetaSketch via KMV, ...)
@@ -191,10 +195,16 @@ class SampleStore {
   // priorities exist. The retained set and threshold observed through the
   // canonicalizing accessors are nevertheless exactly those of a
   // per-offer reference (see file comment).
+  // NOTE: this is Accept() plus the epoch bump, written out rather than
+  // wrapped: a wrapper (measurably) degrades how the scalar path inlines
+  // into callers' reject-heavy loops, and the batched paths must NOT
+  // bump per accept -- they bump once per call so their block-scan inner
+  // loops inline the epoch-free Accept().
   bool Offer(double priority, Payload payload) {
     if (priority >= threshold_) return false;
     priority_.push_back(priority);
     payload_.push_back(std::move(payload));
+    ++mutation_epoch_;
     if (priority_.size() >= capacity_) CompactToK();
     return true;
   }
@@ -219,12 +229,17 @@ class SampleStore {
     for (; i + internal::kIngestBlock <= n; i += internal::kIngestBlock) {
       internal::VisitBlockCandidates(
           priorities.data() + i, threshold_, [&](size_t j) {
-            accepted += Offer(priorities[i + j], payloads[i + j]) ? 1 : 0;
+            accepted += Accept(priorities[i + j], payloads[i + j]) ? 1 : 0;
           });
     }
     for (; i < n; ++i) {
-      accepted += Offer(priorities[i], payloads[i]) ? 1 : 0;
+      accepted += Accept(priorities[i], payloads[i]) ? 1 : 0;
     }
+    // Once per batch, and only when something was accepted: an
+    // all-rejected batch changes nothing observable, and bumping anyway
+    // would invalidate query caches in exactly the saturated steady
+    // state they target. The inner loop stays epoch-free (see Offer).
+    if (accepted > 0) ++mutation_epoch_;
     return accepted;
   }
 
@@ -243,10 +258,28 @@ class SampleStore {
     internal::VisitHashedCandidates(
         keys, hash_salt, [this] { return threshold_; },
         [&](double priority, uint64_t key) {
-          accepted += Offer(priority, key) ? 1 : 0;
+          accepted += Accept(priority, key) ? 1 : 0;
         });
+    // Same epoch discipline as OfferBatch: once per batch, accepts only.
+    if (accepted > 0) ++mutation_epoch_;
     return accepted;
   }
+
+  // Explicitly canonicalizes the representation: compacts the overflow
+  // buffer down to at most k entries and tightens the acceptance bound to
+  // the canonical adaptive threshold. Observable state is unchanged --
+  // this is the same (logically const) compaction every observable
+  // accessor performs implicitly. Call it once after ingest quiesces to
+  // make subsequent `const` accessors pure reads (safe for concurrent
+  // readers; see the thread-safety note in the file comment).
+  void Canonicalize() const { CompactToK(); }
+
+  // Monotone counter bumped by every mutating call that may change the
+  // OBSERVABLE state (accepted offers, threshold lowering, merges,
+  // purges). Canonicalization never bumps it: it changes only the
+  // representation. Query-side caches (ShardedSampler) snapshot this to
+  // skip re-merging clean shards between ingest batches.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   // The adaptive threshold: min(initial threshold, (k+1)-th smallest
   // priority ever offered). Canonicalizes (compacts the overflow buffer)
@@ -316,23 +349,95 @@ class SampleStore {
   // of the concatenated streams. The threshold is the min of both
   // thresholds and of any priority squeezed out while merging. Merging a
   // store with itself is a no-op (the union of a stream with itself).
+  //
+  // This per-item pairwise path is the k-way engine's reference
+  // semantics; aggregation fan-ins should use MergeMany instead.
   void Merge(const SampleStore& other) {
     if (&other == this) return;
+    ++mutation_epoch_;
     initial_threshold_ =
         std::min(initial_threshold_, other.initial_threshold_);
     other.CompactToK();
     LowerThreshold(other.threshold_);
     for (size_t i = 0; i < other.priority_.size(); ++i) {
-      Offer(other.priority_[i], other.payload_[i]);
+      Accept(other.priority_[i], other.payload_[i]);
     }
     // Offers above may have lowered the threshold further; restore the
     // invariant "retained iff priority < threshold".
     PurgeAboveThreshold();
   }
 
+  // Threshold-pruned k-way merge: observationally identical to merging
+  // the inputs one by one with Merge() in span order (same retained
+  // multiset, same threshold, same warm-up/tie behavior -- proven by the
+  // randomized differential test in merge_many_test.cc), but it runs the
+  // aggregation as ONE selection instead of S sequential merge+compaction
+  // rounds:
+  //
+  //   1. One pass over the inputs takes the global acceptance bound
+  //      T0 = min(own threshold, all input thresholds) BEFORE any item
+  //      moves, so every input is filtered at the final bound from the
+  //      start -- in the S-shard fan-in a ~1/S fraction of each input
+  //      survives instead of everything from the early inputs.
+  //   2. Each input's canonical priority column is then culled with the
+  //      64-wide block pre-filter (the batched-ingest scan); survivors
+  //      are appended through Offer, whose 2k-buffer compactions tighten
+  //      the bound below T0 as squeezed-out priorities accumulate, so
+  //      later inputs are pruned even harder.
+  //   3. A final purge restores "retained iff priority < threshold".
+  //
+  // Why this equals the sequential chain: the store's bound is monotone
+  // non-increasing and both paths end at the same final threshold
+  //   T = min(T0, (k+1)-th smallest candidate priority below T0),
+  // because every candidate REJECTED along either path was >= the bound
+  // in force at that moment >= T, so rejections never disturb the
+  // (k+1)-th order statistic; and after the closing purge both paths
+  // retain exactly the candidates with priority < T (at most k of them,
+  // since T is capped by the (k+1)-th smallest). Inputs aliasing `this`
+  // are skipped, matching the pairwise self-merge no-op.
+  void MergeMany(std::span<const SampleStore* const> inputs) {
+    // No real inputs (empty span, or only aliases of `this`): strict
+    // no-op, exactly like the zero-length pairwise chain. The closing
+    // purge must not run here -- it would drop retained entries tied AT
+    // the threshold, which only a merge is entitled to do.
+    bool any_input = false;
+    for (const SampleStore* in : inputs) any_input |= in != this;
+    if (!any_input) return;
+    ++mutation_epoch_;
+    CompactToK();
+    double bound = threshold_;
+    for (const SampleStore* in : inputs) {
+      if (in == this) continue;
+      in->CompactToK();
+      initial_threshold_ =
+          std::min(initial_threshold_, in->initial_threshold_);
+      bound = std::min(bound, in->threshold_);
+    }
+    LowerThreshold(bound);
+    for (const SampleStore* in : inputs) {
+      if (in == this) continue;
+      const std::vector<double>& ps = in->priority_;
+      const std::vector<Payload>& pl = in->payload_;
+      size_t i = 0;
+      for (; i + internal::kIngestBlock <= ps.size();
+           i += internal::kIngestBlock) {
+        // Snapshot bound per block (it only decreases; Offer re-checks
+        // the live value), same argument as OfferBatch.
+        internal::VisitBlockCandidates(
+            ps.data() + i, threshold_,
+            [&](size_t j) { Accept(ps[i + j], pl[i + j]); });
+      }
+      for (; i < ps.size(); ++i) {
+        if (ps[i] < threshold_) Accept(ps[i], pl[i]);
+      }
+    }
+    PurgeAboveThreshold();
+  }
+
   // Removes retained entries with priority >= Threshold(). Needed after
   // merges or external threshold reductions.
   void PurgeAboveThreshold() {
+    ++mutation_epoch_;
     CompactToK();
     if (threshold_ == kInfiniteThreshold) return;
     FilterColumns([t = threshold_](double p) { return p < t; });
@@ -344,11 +449,22 @@ class SampleStore {
   // the lowered bound.
   void LowerThreshold(double t) {
     if (t >= threshold_) return;
+    ++mutation_epoch_;
     threshold_ = t;
     FilterColumns([t](double p) { return p < t; });
   }
 
  private:
+  // The epoch-free accept core shared by Offer and every batched/merge
+  // ingest loop: bound test, two column appends, compaction at 2k.
+  bool Accept(double priority, Payload payload) {
+    if (priority >= threshold_) return false;
+    priority_.push_back(priority);
+    payload_.push_back(std::move(payload));
+    if (priority_.size() >= capacity_) CompactToK();
+    return true;
+  }
+
   // In-place stable filter over the parallel columns: keeps the entries
   // whose priority satisfies `keep` (which may be stateful), preserving
   // arrival order and priority/payload lockstep. Logically const -- the
@@ -421,6 +537,10 @@ class SampleStore {
   // Compaction scratch for the nth_element pivot scan (reused across
   // compactions to avoid per-compaction allocation).
   mutable std::vector<double> scratch_;
+  // Observable-mutation counter (see mutation_epoch()). Deliberately NOT
+  // mutable: canonicalization under const accessors must not bump it, or
+  // query-side caches would self-invalidate.
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace ats

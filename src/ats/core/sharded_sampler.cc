@@ -13,7 +13,10 @@ namespace ats {
 
 ShardedSampler::ShardedSampler(size_t num_shards, size_t k,
                                bool coordinated, uint64_t seed)
-    : k_(k), route_salt_(kRouteSalt), batch_scratch_(num_shards) {
+    : k_(k),
+      route_salt_(kRouteSalt),
+      batch_scratch_(num_shards),
+      merged_epochs_(num_shards, 0) {
   ATS_CHECK(num_shards >= 1);
   ATS_CHECK(k >= 1);
   shards_.reserve(num_shards);
@@ -55,12 +58,36 @@ size_t ShardedSampler::AddShardBatch(size_t shard,
   return shards_[shard].AddBatch(items);
 }
 
-BottomK<ShardedSampler::Item> ShardedSampler::MergeShards() const {
-  BottomK<Item> merged(k_);
-  for (const PrioritySampler& shard : shards_) {
-    merged.Merge(shard.sketch());
+const BottomK<ShardedSampler::Item>& ShardedSampler::MergeShards() const {
+  if (merged_cache_.has_value()) {
+    bool clean = true;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].sketch().store().mutation_epoch() !=
+          merged_epochs_[s]) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) return *merged_cache_;
   }
-  return merged;
+  // Some shard changed since the cached union: rebuild through the
+  // threshold-pruned k-way engine (one global bound, block-prefiltered
+  // shard columns, a single final selection -- see SampleStore::
+  // MergeMany), then re-snapshot the epochs. MergeMany canonicalizes
+  // the shards but never bumps their epochs, so the snapshot taken
+  // after the merge stays valid until the next ingest.
+  BottomK<Item> merged(k_);
+  std::vector<const BottomK<Item>*> inputs;
+  inputs.reserve(shards_.size());
+  for (const PrioritySampler& shard : shards_) {
+    inputs.push_back(&shard.sketch());
+  }
+  merged.MergeMany(inputs);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    merged_epochs_[s] = shards_[s].sketch().store().mutation_epoch();
+  }
+  merged_cache_.emplace(std::move(merged));
+  return *merged_cache_;
 }
 
 std::vector<SampleEntry> ShardedSampler::Sample() const {
@@ -72,7 +99,7 @@ double ShardedSampler::MergedThreshold() const {
 }
 
 ShardedSampler::MergedSample ShardedSampler::Merged() const {
-  const BottomK<Item> merged = MergeShards();
+  const BottomK<Item>& merged = MergeShards();
   return {MakeWeightedSample(merged.store()), merged.Threshold()};
 }
 

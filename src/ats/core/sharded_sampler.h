@@ -18,17 +18,29 @@
 // sample of the stream (unbiased HT estimates), just not bit-identical to
 // a particular single-store run.
 //
+// Queries aggregate the shards through the threshold-pruned k-way merge
+// engine (SampleStore::MergeMany): one pass takes the global bound (min
+// of shard thresholds), each shard's candidate column is block-filtered
+// against it, and a single selection finishes the union -- instead of S
+// sequential pairwise merge+compaction rounds. The merged result is
+// cached against the shards' mutation epochs, so repeated queries
+// between ingest batches re-canonicalize and re-merge nothing.
+//
 // Thread-safety: per-shard ingest (AddShardBatch with distinct shard
 // indices) is lock-free safe. Query APIs (Sample, Merged,
-// MergedThreshold, TotalRetained, shard) touch EVERY shard and may
-// canonicalize any shard's compaction store, i.e. they MUTATE state
-// under const (see sample_store.h) -- run queries from one thread, not
-// concurrently with each other or with ingest into ANY shard. Quiesce
-// all ingest threads before querying.
+// MergedThreshold, TotalRetained, shard) touch EVERY shard: they may
+// canonicalize any shard's compaction store (an explicit
+// SampleStore::Canonicalize from query context) and refresh the shared
+// merge cache, i.e. they mutate representation state under const -- run
+// queries from one thread, not concurrently with each other or with
+// ingest into ANY shard. Quiesce all ingest threads before querying;
+// once a query has run and no further ingest happens, repeated queries
+// are pure cache reads.
 #ifndef ATS_CORE_SHARDED_SAMPLER_H_
 #define ATS_CORE_SHARDED_SAMPLER_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -99,14 +111,22 @@ class ShardedSampler {
   const PrioritySampler& shard(size_t i) const { return shards_[i]; }
 
  private:
-  // Builds the k-capacity union of all shard stores.
-  BottomK<Item> MergeShards() const;
+  // Returns the k-capacity union of all shard stores, rebuilt through
+  // the k-way merge engine only when some shard's mutation epoch moved
+  // since the cached union was taken (the dirty-epoch cache).
+  const BottomK<Item>& MergeShards() const;
 
   size_t k_;
   uint64_t route_salt_;
   std::vector<PrioritySampler> shards_;
   // Per-shard scratch buffers reused across AddBatch calls.
   std::vector<std::vector<Item>> batch_scratch_;
+  // Query-side merge cache: the shard union plus the per-shard
+  // SampleStore::mutation_epoch() snapshot it was built at. Mutable with
+  // the same contract as the stores' canonicalization: refreshed under
+  // const from single-threaded query context, never from ingest.
+  mutable std::optional<BottomK<Item>> merged_cache_;
+  mutable std::vector<uint64_t> merged_epochs_;
 };
 
 }  // namespace ats

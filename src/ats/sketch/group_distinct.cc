@@ -209,6 +209,83 @@ void GroupDistinctSketch::Merge(const GroupDistinctSketch& other) {
   RecomputePoolThreshold();
 }
 
+void GroupDistinctSketch::MergeMany(
+    std::span<const GroupDistinctSketch* const> others) {
+  // Pass 1: parameter checks and the union pool threshold. Applying the
+  // global min FIRST is the pruning step -- every later fold and pool
+  // union filters at the final bound instead of re-filtering per input.
+  double t = pool_threshold_;
+  bool any_input = false;
+  for (const GroupDistinctSketch* o : others) {
+    if (o == this) continue;
+    ATS_CHECK(m_ == o->m_);
+    ATS_CHECK(k_ == o->k_);
+    ATS_CHECK(hash_salt_ == o->hash_salt_);
+    t = std::min(t, o->pool_threshold_);
+    any_input = true;
+  }
+  if (!any_input) return;
+  if (t < pool_threshold_) {
+    pool_threshold_ = t;
+    PurgePool();
+  }
+
+  // Pass 2: gather each group's promoted sketches across ALL inputs, so
+  // a group promoted in many inputs costs one k-way selection.
+  std::unordered_map<uint64_t, std::vector<const KmvSketch*>> per_group;
+  for (const GroupDistinctSketch* o : others) {
+    if (o == this) continue;
+    for (const auto& [group, sketch] : o->promoted_) {
+      per_group[group].push_back(&sketch);
+    }
+  }
+  for (auto& [group, inputs] : per_group) {
+    auto it = promoted_.find(group);
+    if (it != promoted_.end()) {
+      it->second.MergeMany(inputs);
+      continue;
+    }
+    // Adopt: copy the first input's sketch, fold the rest in one k-way
+    // merge, then fold any of our pool items for the group. Pool items
+    // are only complete below the pool threshold, so the sketch's theta
+    // must not exceed it or the estimate would undercount.
+    KmvSketch adopted = *inputs.front();
+    if (inputs.size() > 1) {
+      adopted.MergeMany(std::span(inputs).subspan(1));
+    }
+    auto pl = pool_.find(group);
+    if (pl != pool_.end()) {
+      adopted.LowerThreshold(pool_threshold_);
+      for (double p : pl->second) adopted.OfferPriority(p, /*key=*/0);
+      pool_.erase(pl);
+    }
+    promoted_.emplace(group, std::move(adopted));
+  }
+  // The m bound is re-enforced ONCE, after every input's promoted groups
+  // have been folded (a pairwise chain demotes between inputs).
+  while (promoted_.size() > m_) DemoteLargestThreshold();
+
+  // Pool unions, filtered at the (already-minimal) union threshold.
+  for (const GroupDistinctSketch* o : others) {
+    if (o == this) continue;
+    for (const auto& [group, samples] : o->pool_) {
+      auto pit = promoted_.find(group);
+      if (pit != promoted_.end()) {
+        pit->second.LowerThreshold(pool_threshold_);
+        for (double p : samples) pit->second.OfferPriority(p, /*key=*/0);
+        continue;
+      }
+      auto& mine = pool_[group];
+      for (double p : samples) {
+        if (p < pool_threshold_) mine.insert(p);
+      }
+      if (mine.empty()) pool_.erase(group);
+    }
+  }
+
+  RecomputePoolThreshold();
+}
+
 double GroupDistinctSketch::Estimate(uint64_t group) const {
   const auto pit = promoted_.find(group);
   if (pit != promoted_.end()) return pit->second.Estimate();

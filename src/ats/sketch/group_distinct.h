@@ -89,6 +89,25 @@ class GroupDistinctSketch {
   // Self-merge is a no-op.
   void Merge(const GroupDistinctSketch& other);
 
+  // Threshold-pruned k-way union over the same (m, k, salt) parameters,
+  // built on the k-way merge engine: the union pool threshold (min over
+  // all inputs) is applied FIRST, so every subsequent per-group fold and
+  // pool union filters at the final bound from the start; groups
+  // promoted across several inputs are merged with ONE
+  // KmvSketch::MergeMany selection each instead of a chain of pairwise
+  // merges; and the m-bound demotions run once at the end.
+  //
+  // Semantics: the same union guarantees as a chain of pairwise Merge
+  // calls -- identical pool-completeness/HT-validity invariants and, for
+  // every group, an estimate built from the union of its observations.
+  // The promoted SET and per-sketch thetas may differ from a particular
+  // pairwise chain within the structure's heuristic freedom (pairwise
+  // chains already differ between merge orders); the aggregation-tier
+  // tests pin exact equality in the demotion-free regime and the
+  // invariants under demotion pressure. Inputs aliasing `this` are
+  // skipped.
+  void MergeMany(std::span<const GroupDistinctSketch* const> others);
+
   size_t m() const { return m_; }
   size_t k() const { return k_; }
   uint64_t hash_salt() const { return hash_salt_; }

@@ -1,10 +1,16 @@
 #include "ats/sketch/kmv.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "ats/util/check.h"
 
 namespace {
 constexpr uint32_t kKmvMagic = 0x4b4d5632;  // "KMV2"
 constexpr uint32_t kKmvVersion = 1;
+
+// Wire stride of one (priority, key) frame entry.
+constexpr size_t kKmvEntryStride = sizeof(double) + sizeof(uint64_t);
 }  // namespace
 
 namespace ats {
@@ -81,6 +87,154 @@ void KmvSketch::Merge(const KmvSketch& other) {
     OfferPriority(other.store_.priorities()[i], other.store_.payloads()[i]);
   }
   store_.PurgeAboveThreshold();
+}
+
+void KmvSketch::MergeMany(std::span<const KmvSketch* const> others) {
+  // No real inputs: strict no-op, like the zero-length pairwise chain
+  // (the closing purge must only run on behalf of an actual merge).
+  bool any_input = false;
+  for (const KmvSketch* o : others) any_input |= o != this;
+  if (!any_input) return;
+  // Pass 1: global acceptance bound. Threshold() canonicalizes each
+  // input, so pass 2 scans dense canonical columns.
+  double bound = store_.Threshold();
+  for (const KmvSketch* o : others) {
+    if (o == this) continue;
+    ATS_CHECK(hash_salt_ == o->hash_salt_);
+    bound = std::min(bound, o->Threshold());
+  }
+  store_.LowerThreshold(bound);
+  // Pass 2: block-prefiltered gather. Only survivors reach the per-item
+  // duplicate check (OfferPriority re-checks the live bound, which
+  // compactions tighten below the global min as evictions accumulate).
+  // Rejected members never touch the seen_ set or the key column --
+  // exactly the items a pairwise chain would admit early and purge
+  // later.
+  for (const KmvSketch* o : others) {
+    if (o == this) continue;
+    const std::vector<double>& ps = o->store_.priorities();
+    const std::vector<uint64_t>& keys = o->store_.payloads();
+    size_t i = 0;
+    for (; i + internal::kIngestBlock <= ps.size();
+         i += internal::kIngestBlock) {
+      internal::VisitBlockCandidates(
+          ps.data() + i, store_.AcceptBound(),
+          [&](size_t j) { OfferPriority(ps[i + j], keys[i + j]); });
+    }
+    for (; i < ps.size(); ++i) {
+      if (ps[i] < store_.AcceptBound()) OfferPriority(ps[i], keys[i]);
+    }
+  }
+  store_.PurgeAboveThreshold();
+}
+
+size_t KmvSketch::FrameView::size() const {
+  return entries_.size() / kKmvEntryStride;
+}
+
+double KmvSketch::FrameView::priority(size_t i) const {
+  ATS_DCHECK(i < size());
+  double p;
+  std::memcpy(&p, entries_.data() + i * kKmvEntryStride, sizeof(p));
+  return p;
+}
+
+uint64_t KmvSketch::FrameView::key(size_t i) const {
+  ATS_DCHECK(i < size());
+  uint64_t k;
+  std::memcpy(&k,
+              entries_.data() + i * kKmvEntryStride + sizeof(double),
+              sizeof(k));
+  return k;
+}
+
+std::optional<KmvSketch::FrameView> KmvSketch::DeserializeView(
+    std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kKmvMagic, kKmvVersion);
+  if (!r) return std::nullopt;
+  const auto k = r->ReadU64();
+  const auto salt = r->ReadU64();
+  const auto initial = r->ReadDouble();
+  const auto threshold = r->ReadDouble();
+  const auto count = r->ReadU64();
+  if (!k || !salt.has_value() || !initial || !threshold || !count) {
+    return std::nullopt;
+  }
+  if (*k < 1 || !(*initial > 0.0) || *initial > 1.0 ||
+      !(*threshold > 0.0) || *threshold > *initial || *count > *k) {
+    return std::nullopt;
+  }
+  // Fixed-stride entry region: one size comparison bounds-checks every
+  // entry (oversized or truncated regions are framing errors). The first
+  // clause keeps the multiplication overflow-free.
+  const std::string_view entries = r->Rest();
+  if (*count > entries.size() / kKmvEntryStride ||
+      entries.size() != *count * kKmvEntryStride) {
+    return std::nullopt;
+  }
+  FrameView view;
+  view.k_ = *k;
+  view.hash_salt_ = *salt;
+  view.initial_threshold_ = *initial;
+  view.threshold_ = *threshold;
+  view.entries_ = entries;
+  // Canonical encoding only: strictly ascending priorities inside
+  // (0, threshold). Ascending order implies distinctness, which is what
+  // lets this validation run without the hash set Deserialize builds.
+  double prev = 0.0;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const double p = view.priority(i);
+    if (!(p > prev) || p >= *threshold) return std::nullopt;
+    prev = p;
+  }
+  return view;
+}
+
+bool KmvSketch::MergeManyFrames(std::span<const std::string_view> frames) {
+  std::vector<FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view || view->hash_salt() != hash_salt_) return false;
+    views.push_back(*view);
+  }
+  if (views.empty()) return true;  // strict no-op, no closing purge
+  double bound = store_.Threshold();
+  for (const FrameView& v : views) bound = std::min(bound, v.threshold());
+  store_.LowerThreshold(bound);
+  alignas(64) double block[internal::kIngestBlock];
+  for (const FrameView& v : views) {
+    // Canonical frames are ascending, so the global bound cuts each
+    // frame to a PREFIX: binary-search it and never decode the tail.
+    size_t n = v.size();
+    {
+      size_t lo = 0, hi = n;
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (v.priority(mid) < bound) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      n = lo;
+    }
+    size_t i = 0;
+    for (; i + internal::kIngestBlock <= n; i += internal::kIngestBlock) {
+      for (size_t j = 0; j < internal::kIngestBlock; ++j) {
+        block[j] = v.priority(i + j);
+      }
+      internal::VisitBlockCandidates(
+          block, store_.AcceptBound(),
+          [&](size_t j) { OfferPriority(block[j], v.key(i + j)); });
+    }
+    for (; i < n; ++i) {
+      const double p = v.priority(i);
+      if (p < store_.AcceptBound()) OfferPriority(p, v.key(i));
+    }
+  }
+  store_.PurgeAboveThreshold();
+  return true;
 }
 
 void KmvSketch::SerializeTo(ByteWriter& w) const {

@@ -83,6 +83,59 @@ class KmvSketch {
   // bottom-k union baseline of Figure 4. Self-merge is a no-op.
   void Merge(const KmvSketch& other);
 
+  // Threshold-pruned k-way union: observationally identical to merging
+  // the inputs with Merge() in span order (same members, same theta --
+  // coordinated hashing makes duplicate suppression order-independent),
+  // but the global bound min(theta_this, theta_1, ..., theta_S) is taken
+  // before any member moves and each input's priority column is
+  // block-prefiltered against it, so the S-shard fan-in costs one
+  // selection instead of S merge+compaction rounds (see
+  // SampleStore::MergeMany). All inputs must share this sketch's hash
+  // salt; inputs aliasing `this` are skipped.
+  void MergeMany(std::span<const KmvSketch* const> others);
+
+  // Zero-copy view over a whole serialized KMV frame (SerializeToString
+  // layout): header and every entry validated once, entries exposed as a
+  // bounds-checked span decoded lazily. Only the CANONICAL encoding is
+  // accepted -- entries strictly ascending by priority, exactly as
+  // SerializeTo emits them (Deserialize additionally tolerates permuted
+  // entries; the ascending check is what lets the view reject duplicate
+  // priorities without building a hash set). Borrows the frame's bytes.
+  class FrameView {
+   public:
+    size_t k() const { return static_cast<size_t>(k_); }
+    uint64_t hash_salt() const { return hash_salt_; }
+    double initial_threshold() const { return initial_threshold_; }
+    double threshold() const { return threshold_; }
+    size_t size() const;
+    double priority(size_t i) const;
+    uint64_t key(size_t i) const;
+
+   private:
+    friend class KmvSketch;
+    uint64_t k_ = 0;
+    uint64_t hash_salt_ = 0;
+    double initial_threshold_ = 1.0;
+    double threshold_ = 1.0;
+    std::string_view entries_;
+  };
+
+  // Parses a SerializeToString frame into a FrameView; nullopt on any
+  // input Deserialize rejects plus non-canonical (non-ascending) entry
+  // order. Allocates nothing: a hostile frame declaring a huge k cannot
+  // reserve memory here (kMaxEagerReserve guards the Deserialize path).
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  // Threshold-pruned k-way union straight off the wire: observationally
+  // identical to deserializing every frame and merging the results with
+  // Merge() in span order, but zero-copy and pruned at the global min
+  // theta before any entry is decoded. Returns false -- leaving the
+  // sketch observably unchanged -- if any frame fails validation or
+  // carries a foreign hash salt; all frames are vetted before the first
+  // one is applied (a salt mismatch is a validation failure here, where
+  // the Merge path would ATS_CHECK-abort).
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
   // Externally lowers theta (threshold composition, grouped merges);
   // purges members at/above the new threshold. The estimate stays a valid
   // HT count at the lowered threshold.

@@ -40,31 +40,50 @@ double ThetaSketch::Estimate() const {
 }
 
 std::vector<double> ThetaSketch::RetainedPriorities() const {
+  if (union_mode_) return union_retained_;
   std::vector<double> out;
-  if (union_mode_) {
-    out.assign(union_retained_.begin(), union_retained_.end());
-  } else {
-    out.reserve(kmv_.size());
-    for (const auto& [priority, key] : kmv_.members()) {
-      out.push_back(priority);
-    }
+  out.reserve(kmv_.size());
+  for (const auto& [priority, key] : kmv_.members()) {
+    out.push_back(priority);
   }
   return out;
 }
 
 ThetaSketch ThetaSketch::Union(
     const std::vector<const ThetaSketch*>& inputs) {
+  return UnionMany(inputs);
+}
+
+ThetaSketch ThetaSketch::UnionMany(
+    std::span<const ThetaSketch* const> inputs) {
   ATS_CHECK(!inputs.empty());
   ThetaSketch out;
   out.union_theta_ = 1.0;
   for (const ThetaSketch* s : inputs) {
     out.union_theta_ = std::min(out.union_theta_, s->Theta());
   }
+  // Gather every retained hash below the global theta, then sort + dedup
+  // once. Union-mode inputs are already ascending, so the theta prune is
+  // a binary search and the surviving prefix a bulk append; stream-mode
+  // inputs contribute their (unsorted) canonical store column filtered
+  // with one linear pass.
+  std::vector<double>& retained = out.union_retained_;
   for (const ThetaSketch* s : inputs) {
-    for (double p : s->RetainedPriorities()) {
-      if (p < out.union_theta_) out.union_retained_.insert(p);
+    if (s->union_mode_) {
+      const std::vector<double>& rs = s->union_retained_;
+      const auto cut =
+          std::lower_bound(rs.begin(), rs.end(), out.union_theta_);
+      retained.insert(retained.end(), rs.begin(), cut);
+    } else {
+      const auto& store = s->kmv_.store();
+      for (double p : store.priorities()) {
+        if (p < out.union_theta_) retained.push_back(p);
+      }
     }
   }
+  std::sort(retained.begin(), retained.end());
+  retained.erase(std::unique(retained.begin(), retained.end()),
+                 retained.end());
   return out;
 }
 
@@ -112,7 +131,7 @@ std::optional<ThetaSketch> ThetaSketch::Deserialize(ByteReader& r) {
     if (!p) return std::nullopt;
     // Ascending, distinct, strictly inside (0, theta).
     if (!(*p > prev) || *p >= *theta) return std::nullopt;
-    sketch.union_retained_.insert(sketch.union_retained_.end(), *p);
+    sketch.union_retained_.push_back(*p);
     prev = *p;
   }
   sketch.union_theta_ = *theta;

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <span>
 #include <string>
 #include <string_view>
@@ -50,6 +49,14 @@ class ThetaSketch {
   // below it, no re-capping).
   static ThetaSketch Union(const std::vector<const ThetaSketch*>& inputs);
 
+  // The k-way Theta union engine (Union above and Merge delegate here):
+  // the min theta over all inputs is taken first, every input's retained
+  // set is pruned against it -- union-mode inputs are sorted, so the
+  // prune is one binary search and the tail is never touched -- and the
+  // surviving hashes are merged with one sort + dedup pass instead of
+  // per-hash ordered-set inserts.
+  static ThetaSketch UnionMany(std::span<const ThetaSketch* const> inputs);
+
   // Pairwise Theta union in place: this becomes the union of this and
   // `other` (the result is in union mode). Self-merge is a no-op.
   void Merge(const ThetaSketch& other);
@@ -72,11 +79,13 @@ class ThetaSketch {
   ThetaSketch();  // for Union / Deserialize results
 
   // Exactly one of these is active: stream mode wraps a KMV sketch; union
-  // mode holds the merged retained set directly.
+  // mode holds the merged retained set directly -- a sorted, distinct,
+  // dense vector (the aggregation tier merges these with linear passes;
+  // the previous std::set paid a node allocation per retained hash).
   bool union_mode_ = false;
   KmvSketch kmv_;
   double union_theta_ = 1.0;
-  std::set<double> union_retained_;
+  std::vector<double> union_retained_;  // ascending, distinct
 };
 
 static_assert(MergeableSketch<ThetaSketch>);

@@ -56,6 +56,11 @@ class ByteReader {
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
+  // The unconsumed tail. Zero-copy frame views use this to take the
+  // fixed-stride entry region after reading the prefix fields, without
+  // hand-deriving byte offsets that must track the field list.
+  std::string_view Rest() const { return bytes_.substr(pos_); }
+
  private:
   template <typename T>
   std::optional<T> Read() {
@@ -127,17 +132,41 @@ std::string SerializeSketch(const T& sketch) {
   return bytes;
 }
 
+// Verifies and strips the trailing frame checksum, returning the body
+// bytes (nullopt on truncation or mismatch).
+inline std::optional<std::string_view> CheckedFrameBody(
+    std::string_view frame) {
+  if (frame.size() < sizeof(uint32_t)) return std::nullopt;
+  const std::string_view body = frame.substr(0, frame.size() - 4);
+  uint32_t stored;
+  std::memcpy(&stored, frame.data() + body.size(), sizeof(stored));
+  if (stored != FrameChecksum(body)) return std::nullopt;
+  return body;
+}
+
+// Opens a whole-buffer frame for zero-copy viewing: checksum verified
+// and stripped, sketch header consumed and validated. The returned
+// reader is positioned at the first post-header field; Rest() after the
+// prefix reads yields the entry region. Shared by every
+// DeserializeView so the checksum/header machinery exists once.
+inline std::optional<ByteReader> OpenCheckedFrame(std::string_view frame,
+                                                  uint32_t magic,
+                                                  uint32_t max_version) {
+  const auto body = CheckedFrameBody(frame);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  if (!ReadSketchHeader(r, magic, max_version)) return std::nullopt;
+  return r;
+}
+
 // Whole-buffer parsing: the checksum must match and the sketch must
 // consume the buffer exactly (trailing junk is a framing error, not a
 // valid message).
 template <MergeableSketch T>
 std::optional<T> DeserializeSketch(std::string_view bytes) {
-  if (bytes.size() < sizeof(uint32_t)) return std::nullopt;
-  const std::string_view body = bytes.substr(0, bytes.size() - 4);
-  uint32_t stored;
-  std::memcpy(&stored, bytes.data() + body.size(), sizeof(stored));
-  if (stored != FrameChecksum(body)) return std::nullopt;
-  ByteReader r(body);
+  const auto body = CheckedFrameBody(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
   auto sketch = T::Deserialize(r);
   if (!sketch.has_value() || !r.AtEnd()) return std::nullopt;
   return sketch;
