@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the google-benchmark binaries in a DEDICATED Release tree and
 # writes machine-readable JSON results (BENCH_throughput.json,
-# BENCH_sharded.json, BENCH_merge.json) into the repo root, so
-# successive PRs can track the perf trajectory.
+# BENCH_sharded.json, BENCH_merge.json, BENCH_window.json) into the repo
+# root, so successive PRs can track the perf trajectory.
 #
 # The build directory defaults to build-release/ (NOT the dev build/):
 # reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
@@ -31,7 +31,7 @@ then
   exit 1
 fi
 cmake --build "$BUILD_DIR" -j \
-      --target bench_throughput bench_sharded bench_merge
+      --target bench_throughput bench_sharded bench_merge bench_window
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -42,10 +42,14 @@ cmake --build "$BUILD_DIR" -j \
 "$BUILD_DIR/bench/bench_merge" \
     --json="$REPO_ROOT/BENCH_merge.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_window" \
+    --json="$REPO_ROOT/BENCH_window.json" \
+    --benchmark_min_time=0.1
 
 for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_sharded.json" \
-           "$REPO_ROOT/BENCH_merge.json"
+           "$REPO_ROOT/BENCH_merge.json" \
+           "$REPO_ROOT/BENCH_window.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
@@ -64,4 +68,5 @@ do
 done
 
 echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
-     "$REPO_ROOT/BENCH_sharded.json and $REPO_ROOT/BENCH_merge.json"
+     "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json" \
+     "and $REPO_ROOT/BENCH_window.json"

@@ -59,7 +59,7 @@ void PrioritySampler::Merge(const PrioritySampler& other) {
 void PrioritySampler::SerializeTo(ByteWriter& w) const {
   WriteSketchHeader(w, kPrioritySamplerMagic, kPrioritySamplerVersion);
   w.WriteU32(coordinated_ ? 1 : 0);
-  for (uint64_t word : rng_.State()) w.WriteU64(word);
+  WriteRngState(w, rng_.State());
   sketch_.SerializeTo(w);  // the nested BottomK frame carries the sample
 }
 
@@ -70,22 +70,13 @@ std::optional<PrioritySampler> PrioritySampler::Deserialize(ByteReader& r) {
   }
   const auto coordinated = r.ReadU32();
   if (!coordinated) return std::nullopt;
-  std::array<uint64_t, 4> rng_state;
-  uint64_t state_or = 0;
-  for (uint64_t& word : rng_state) {
-    const auto v = r.ReadU64();
-    if (!v) return std::nullopt;
-    word = *v;
-    state_or |= word;
-  }
-  // All-zero is Xoshiro256's invalid fixed point (the stream degenerates
-  // to constant zeros); no genuine serializer emits it, so reject.
-  if (state_or == 0) return std::nullopt;
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
   auto sketch = BottomK<Item>::Deserialize(r);
   if (!sketch) return std::nullopt;
   PrioritySampler sampler(sketch->k(), /*seed=*/1, *coordinated != 0);
   sampler.sketch_ = std::move(*sketch);
-  sampler.rng_.SetState(rng_state);
+  sampler.rng_.SetState(*rng_state);
   return sampler;
 }
 

@@ -244,11 +244,23 @@ class BottomK {
   // so hostile capacity claims cannot reserve memory here (the
   // kMaxEagerReserve cap protects the Deserialize path the same way).
   static std::optional<FrameView> DeserializeView(std::string_view frame) {
-    auto r = OpenCheckedFrame(frame, kMagic, kVersion);
-    if (!r) return std::nullopt;
-    const auto k = r->ReadU64();
-    const auto threshold = r->ReadDouble();
-    const auto count = r->ReadU64();
+    const auto body = CheckedFrameBody(frame);
+    if (!body) return std::nullopt;
+    return ViewBody(*body);
+  }
+
+  // Parses a bare (un-checksummed) BottomK body -- exactly the bytes
+  // SerializeTo appends, which must span the whole of `body` -- into a
+  // FrameView. For container formats that embed the sample region inside
+  // their own checked frame (TimeDecaySampler): the container's
+  // DeserializeView verifies the outer checksum and hands the tail here.
+  // Validation is identical to DeserializeView's.
+  static std::optional<FrameView> ViewBody(std::string_view body) {
+    ByteReader r(body);
+    if (!ReadSketchHeader(r, kMagic, kVersion)) return std::nullopt;
+    const auto k = r.ReadU64();
+    const auto threshold = r.ReadDouble();
+    const auto count = r.ReadU64();
     if (!k || !threshold || !count) return std::nullopt;
     if (*k < 1 || std::isnan(*threshold) || *count > *k) return std::nullopt;
     FrameView view;
@@ -257,7 +269,7 @@ class BottomK {
     // Fixed-stride entry region: one size comparison bounds-checks every
     // entry (an oversized or truncated region is a framing error); the
     // first clause keeps the multiplication overflow-free.
-    const std::string_view entries = r->Rest();
+    const std::string_view entries = r.Rest();
     if (*count > entries.size() / FrameView::kStride ||
         entries.size() != *count * FrameView::kStride) {
       return std::nullopt;
@@ -294,6 +306,17 @@ class BottomK {
     // entries tied AT the threshold, which no pairwise merge ran to
     // justify).
     if (views.empty()) return true;
+    MergeValidatedViews(views);
+    return true;
+  }
+
+  // The mutation half of MergeManyFrames: applies frame views that have
+  // ALREADY passed DeserializeView/ViewBody validation (global min bound
+  // first, block-prefiltered gather, closing purge). For container
+  // sketches (TimeDecaySampler) that vet their own outer frames before
+  // delegating; the span must be non-empty (the all-frames-invalid /
+  // no-frames cases are the caller's strict no-op).
+  void MergeValidatedViews(std::span<const FrameView> views) {
     double bound = store_.Threshold();
     for (const FrameView& v : views) bound = std::min(bound, v.threshold());
     store_.LowerThreshold(bound);
@@ -318,7 +341,6 @@ class BottomK {
       }
     }
     store_.PurgeAboveThreshold();
-    return true;
   }
 
  private:

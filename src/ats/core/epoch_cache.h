@@ -1,0 +1,42 @@
+// Helpers for the mutation-epoch dirty-cache pattern shared by the
+// sharded front-ends (ShardedSampler, ShardedWindowSampler,
+// ShardedDecaySampler): a cached merged result stays valid while every
+// shard's mutation epoch still matches the snapshot taken when the
+// cache was built. Keeping the check and the snapshot in one place
+// means a future change to the invalidation rule lands in every
+// front-end at once.
+#ifndef ATS_CORE_EPOCH_CACHE_H_
+#define ATS_CORE_EPOCH_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ats {
+
+// True iff every shard's epoch equals its snapshot entry. `epoch_of`
+// maps a shard to its current mutation epoch.
+template <typename Shards, typename EpochOf>
+bool EpochsClean(const Shards& shards,
+                 const std::vector<uint64_t>& snapshot, EpochOf&& epoch_of) {
+  size_t i = 0;
+  for (const auto& shard : shards) {
+    if (epoch_of(shard) != snapshot[i++]) return false;
+  }
+  return true;
+}
+
+// Re-snapshots every shard's epoch; call right after rebuilding the
+// cached merge (the merge reads but never observably mutates the
+// shards, so a snapshot taken afterwards stays valid until the next
+// ingest).
+template <typename Shards, typename EpochOf>
+void SnapshotEpochs(const Shards& shards, std::vector<uint64_t>& snapshot,
+                    EpochOf&& epoch_of) {
+  snapshot.clear();
+  for (const auto& shard : shards) snapshot.push_back(epoch_of(shard));
+}
+
+}  // namespace ats
+
+#endif  // ATS_CORE_EPOCH_CACHE_H_

@@ -167,10 +167,10 @@ inline void VisitHashedCandidates(std::span<const uint64_t> keys,
 template <typename Payload>
 class SampleStore {
  public:
-  // k: retention capacity. `initial_threshold` pre-filters the stream
-  // (KMV-style sketches start at 1.0, the top of the unit interval;
-  // grouped sketches start at the current pool threshold; plain bottom-k
-  // starts unbounded).
+  /// k: retention capacity. `initial_threshold` pre-filters the stream
+  /// (KMV-style sketches start at 1.0, the top of the unit interval;
+  /// grouped sketches start at the current pool threshold; plain bottom-k
+  /// starts unbounded).
   explicit SampleStore(size_t k,
                        double initial_threshold = kInfiniteThreshold)
       : k_(k),
@@ -184,22 +184,24 @@ class SampleStore {
     payload_.reserve(reserve);
   }
 
-  // Offers one item. Returns true iff the item is ACCEPTED: its priority
-  // is below the current acceptance bound and it enters the candidate
-  // buffer. Amortized O(1): an accept is an append; every 2k-th accept
-  // pays one O(k) nth_element compaction.
+  /// Offers one item. Returns true iff the item is ACCEPTED: its priority
+  /// is below the current acceptance bound and it enters the candidate
+  /// buffer. Amortized O(1): an accept is an append; every 2k-th accept
+  /// pays one O(k) nth_element compaction. Thread-safety: mutating call
+  /// -- never run concurrently with any other access to the same store
+  /// (distinct stores are fully independent).
   //
-  // Acceptance is chunked: between compactions the bound sits at the
-  // (k+1)-th smallest priority as of the LAST compaction, so an accepted
-  // item may still be dropped by the next compaction if k smaller
-  // priorities exist. The retained set and threshold observed through the
-  // canonicalizing accessors are nevertheless exactly those of a
-  // per-offer reference (see file comment).
-  // NOTE: this is Accept() plus the epoch bump, written out rather than
-  // wrapped: a wrapper (measurably) degrades how the scalar path inlines
-  // into callers' reject-heavy loops, and the batched paths must NOT
-  // bump per accept -- they bump once per call so their block-scan inner
-  // loops inline the epoch-free Accept().
+  /// Acceptance is chunked: between compactions the bound sits at the
+  /// (k+1)-th smallest priority as of the LAST compaction, so an accepted
+  /// item may still be dropped by the next compaction if k smaller
+  /// priorities exist. The retained set and threshold observed through the
+  /// canonicalizing accessors are nevertheless exactly those of a
+  /// per-offer reference (see file comment).
+  /// NOTE: this is Accept() plus the epoch bump, written out rather than
+  /// wrapped: a wrapper (measurably) degrades how the scalar path inlines
+  /// into callers' reject-heavy loops, and the batched paths must NOT
+  /// bump per accept -- they bump once per call so their block-scan inner
+  /// loops inline the epoch-free Accept().
   bool Offer(double priority, Payload payload) {
     if (priority >= threshold_) return false;
     priority_.push_back(priority);
@@ -209,17 +211,18 @@ class SampleStore {
     return true;
   }
 
-  // Batched ingest hot path. Exactly equivalent to calling Offer() on each
-  // (priority, payload) pair in order -- same final state, same acceptance
-  // count -- but pre-filters each 64-item block against the current
-  // acceptance bound with a branch-free compare scan over the priority
-  // column, so rejected items never reach the buffer or touch payload
-  // memory.
+  /// Batched ingest hot path. Exactly equivalent to calling Offer() on each
+  /// (priority, payload) pair in order -- same final state, same acceptance
+  /// count -- but pre-filters each 64-item block against the current
+  /// acceptance bound with a branch-free compare scan over the priority
+  /// column, so rejected items never reach the buffer or touch payload
+  /// memory.
   //
-  // Correctness of the pre-filter: the bound only decreases, so items
-  // culled against the block-start snapshot `t` would also be rejected
-  // (with no state change) by a scalar Offer; survivors re-check the live
-  // bound inside Offer.
+  /// Correctness of the pre-filter: the bound only decreases, so items
+  /// culled against the block-start snapshot `t` would also be rejected
+  /// (with no state change) by a scalar Offer; survivors re-check the live
+  /// bound inside Offer. Thread-safety: mutating call, same contract as
+  /// Offer.
   size_t OfferBatch(std::span<const double> priorities,
                     std::span<const Payload> payloads) {
     ATS_CHECK(priorities.size() == payloads.size());
@@ -243,13 +246,13 @@ class SampleStore {
     return accepted;
   }
 
-  // Fused batched front-end for keyed stores (Payload == uint64_t): for
-  // each 64-key block, computes the coordinated hash priorities into a
-  // dense column, culls the block against the acceptance bound, and
-  // appends the survivors. Exactly equivalent to
-  //   for (key : keys) Offer(HashToUnit(HashKey(key, salt)), key);
-  // in order, including the acceptance count. Keys are NOT deduplicated;
-  // key-coordinated duplicate suppression lives in KmvSketch.
+  /// Fused batched front-end for keyed stores (Payload == uint64_t): for
+  /// each 64-key block, computes the coordinated hash priorities into a
+  /// dense column, culls the block against the acceptance bound, and
+  /// appends the survivors. Exactly equivalent to
+  ///   for (key : keys) Offer(HashToUnit(HashKey(key, salt)), key);
+  /// in order, including the acceptance count. Keys are NOT deduplicated;
+  /// key-coordinated duplicate suppression lives in KmvSketch.
   size_t HashedBatchOffer(std::span<const uint64_t> keys,
                           uint64_t hash_salt = 0)
     requires std::same_as<Payload, uint64_t>
@@ -265,71 +268,74 @@ class SampleStore {
     return accepted;
   }
 
-  // Explicitly canonicalizes the representation: compacts the overflow
-  // buffer down to at most k entries and tightens the acceptance bound to
-  // the canonical adaptive threshold. Observable state is unchanged --
-  // this is the same (logically const) compaction every observable
-  // accessor performs implicitly. Call it once after ingest quiesces to
-  // make subsequent `const` accessors pure reads (safe for concurrent
-  // readers; see the thread-safety note in the file comment).
+  /// Explicitly canonicalizes the representation: compacts the overflow
+  /// buffer down to at most k entries and tightens the acceptance bound to
+  /// the canonical adaptive threshold. Observable state is unchanged --
+  /// this is the same (logically const) compaction every observable
+  /// accessor performs implicitly. Call it once after ingest quiesces to
+  /// make subsequent `const` accessors pure reads (safe for concurrent
+  /// readers; see the thread-safety note in the file comment).
   void Canonicalize() const { CompactToK(); }
 
-  // Monotone counter bumped by every mutating call that may change the
-  // OBSERVABLE state (accepted offers, threshold lowering, merges,
-  // purges). Canonicalization never bumps it: it changes only the
-  // representation. Query-side caches (ShardedSampler) snapshot this to
-  // skip re-merging clean shards between ingest batches.
+  /// Monotone counter bumped by every mutating call that may change the
+  /// OBSERVABLE state (accepted offers, threshold lowering, merges,
+  /// purges). Canonicalization never bumps it: it changes only the
+  /// representation. Query-side caches (ShardedSampler) snapshot this to
+  /// skip re-merging clean shards between ingest batches.
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
-  // The adaptive threshold: min(initial threshold, (k+1)-th smallest
-  // priority ever offered). Canonicalizes (compacts the overflow buffer)
-  // first, so the value matches the scalar reference at any point.
+  /// The adaptive threshold: min(initial threshold, (k+1)-th smallest
+  /// priority ever offered). Canonicalizes (compacts the overflow buffer)
+  /// first, so the value matches the scalar reference at any point.
+  /// Thread-safety: canonicalizing const accessor -- a pure read only
+  /// after an explicit Canonicalize() (see the file comment); otherwise
+  /// it may mutate the representation and must not race with anything.
   double Threshold() const {
     CompactToK();
     return threshold_;
   }
 
-  // The raw chunked acceptance bound: Threshold() <= AcceptBound(), with
-  // equality whenever the store is canonical. O(1) -- this is the value
-  // hot ingest paths (KmvSketch::OfferPriority, the block pre-filter)
-  // test against without forcing a compaction. Any retained-set snapshot
-  // taken together with this bound is a valid threshold sample at the
-  // bound (threshold substitutability), so estimators MAY use it; the
-  // canonical Threshold() is simply tighter.
+  /// The raw chunked acceptance bound: Threshold() <= AcceptBound(), with
+  /// equality whenever the store is canonical. O(1) -- this is the value
+  /// hot ingest paths (KmvSketch::OfferPriority, the block pre-filter)
+  /// test against without forcing a compaction. Any retained-set snapshot
+  /// taken together with this bound is a valid threshold sample at the
+  /// bound (threshold substitutability), so estimators MAY use it; the
+  /// canonical Threshold() is simply tighter.
   double AcceptBound() const { return threshold_; }
 
-  // True once the threshold has dropped below the initial threshold, i.e.
-  // at least one offer has been squeezed out by capacity.
+  /// True once the threshold has dropped below the initial threshold, i.e.
+  /// at least one offer has been squeezed out by capacity.
   bool saturated() const {
     CompactToK();
     return threshold_ < initial_threshold_;
   }
 
-  // Largest retained priority (the k-th smallest seen). Only valid when
-  // size() > 0. O(k): the canonical buffer is unordered between
-  // compactions, so this scans the priority column.
+  /// Largest retained priority (the k-th smallest seen). Only valid when
+  /// size() > 0. O(k): the canonical buffer is unordered between
+  /// compactions, so this scans the priority column.
   double MaxRetainedPriority() const {
     CompactToK();
     ATS_CHECK(!priority_.empty());
     return *std::max_element(priority_.begin(), priority_.end());
   }
 
-  // Canonical retained count (<= k).
+  /// Canonical retained count (<= k).
   size_t size() const {
     CompactToK();
     return priority_.size();
   }
 
-  // Raw candidate-buffer occupancy (may exceed k between compactions).
-  // O(1); monitoring / memory-heuristic use only.
+  /// Raw candidate-buffer occupancy (may exceed k between compactions).
+  /// O(1); monitoring / memory-heuristic use only.
   size_t BufferedSize() const { return priority_.size(); }
 
   size_t k() const { return k_; }
   double initial_threshold() const { return initial_threshold_; }
 
-  // Raw columns in unspecified order. priorities()[i] pairs with
-  // payloads()[i]. Canonicalized: at most k entries, exactly the scalar
-  // reference's retained multiset.
+  /// Raw columns in unspecified order. priorities()[i] pairs with
+  /// payloads()[i]. Canonicalized: at most k entries, exactly the scalar
+  /// reference's retained multiset.
   const std::vector<double>& priorities() const {
     CompactToK();
     return priority_;
@@ -339,19 +345,21 @@ class SampleStore {
     return payload_;
   }
 
-  // Index permutation visiting entries in ascending-priority order.
+  /// Index permutation visiting entries in ascending-priority order.
   std::vector<size_t> SortedOrder() const {
     CompactToK();
     return internal::AscendingPriorityOrder(priority_);
   }
 
-  // Merges another store over a disjoint stream: the result is the store
-  // of the concatenated streams. The threshold is the min of both
-  // thresholds and of any priority squeezed out while merging. Merging a
-  // store with itself is a no-op (the union of a stream with itself).
+  /// Merges another store over a disjoint stream: the result is the store
+  /// of the concatenated streams. The threshold is the min of both
+  /// thresholds and of any priority squeezed out while merging. Merging a
+  /// store with itself is a no-op (the union of a stream with itself).
   //
-  // This per-item pairwise path is the k-way engine's reference
-  // semantics; aggregation fan-ins should use MergeMany instead.
+  /// This per-item pairwise path is the k-way engine's reference
+  /// semantics; aggregation fan-ins should use MergeMany instead.
+  /// Thread-safety: mutates `this` AND canonicalizes `other` -- neither
+  /// side may be touched concurrently.
   void Merge(const SampleStore& other) {
     if (&other == this) return;
     ++mutation_epoch_;
@@ -367,34 +375,34 @@ class SampleStore {
     PurgeAboveThreshold();
   }
 
-  // Threshold-pruned k-way merge: observationally identical to merging
-  // the inputs one by one with Merge() in span order (same retained
-  // multiset, same threshold, same warm-up/tie behavior -- proven by the
-  // randomized differential test in merge_many_test.cc), but it runs the
-  // aggregation as ONE selection instead of S sequential merge+compaction
-  // rounds:
+  /// Threshold-pruned k-way merge: observationally identical to merging
+  /// the inputs one by one with Merge() in span order (same retained
+  /// multiset, same threshold, same warm-up/tie behavior -- proven by the
+  /// randomized differential test in merge_many_test.cc), but it runs the
+  /// aggregation as ONE selection instead of S sequential merge+compaction
+  /// rounds:
   //
-  //   1. One pass over the inputs takes the global acceptance bound
-  //      T0 = min(own threshold, all input thresholds) BEFORE any item
-  //      moves, so every input is filtered at the final bound from the
-  //      start -- in the S-shard fan-in a ~1/S fraction of each input
-  //      survives instead of everything from the early inputs.
-  //   2. Each input's canonical priority column is then culled with the
-  //      64-wide block pre-filter (the batched-ingest scan); survivors
-  //      are appended through Offer, whose 2k-buffer compactions tighten
-  //      the bound below T0 as squeezed-out priorities accumulate, so
-  //      later inputs are pruned even harder.
-  //   3. A final purge restores "retained iff priority < threshold".
+  ///   1. One pass over the inputs takes the global acceptance bound
+  ///      T0 = min(own threshold, all input thresholds) BEFORE any item
+  ///      moves, so every input is filtered at the final bound from the
+  ///      start -- in the S-shard fan-in a ~1/S fraction of each input
+  ///      survives instead of everything from the early inputs.
+  ///   2. Each input's canonical priority column is then culled with the
+  ///      64-wide block pre-filter (the batched-ingest scan); survivors
+  ///      are appended through Offer, whose 2k-buffer compactions tighten
+  ///      the bound below T0 as squeezed-out priorities accumulate, so
+  ///      later inputs are pruned even harder.
+  ///   3. A final purge restores "retained iff priority < threshold".
   //
-  // Why this equals the sequential chain: the store's bound is monotone
-  // non-increasing and both paths end at the same final threshold
-  //   T = min(T0, (k+1)-th smallest candidate priority below T0),
-  // because every candidate REJECTED along either path was >= the bound
-  // in force at that moment >= T, so rejections never disturb the
-  // (k+1)-th order statistic; and after the closing purge both paths
-  // retain exactly the candidates with priority < T (at most k of them,
-  // since T is capped by the (k+1)-th smallest). Inputs aliasing `this`
-  // are skipped, matching the pairwise self-merge no-op.
+  /// Why this equals the sequential chain: the store's bound is monotone
+  /// non-increasing and both paths end at the same final threshold
+  ///   T = min(T0, (k+1)-th smallest candidate priority below T0),
+  /// because every candidate REJECTED along either path was >= the bound
+  /// in force at that moment >= T, so rejections never disturb the
+  /// (k+1)-th order statistic; and after the closing purge both paths
+  /// retain exactly the candidates with priority < T (at most k of them,
+  /// since T is capped by the (k+1)-th smallest). Inputs aliasing `this`
+  /// are skipped, matching the pairwise self-merge no-op.
   void MergeMany(std::span<const SampleStore* const> inputs) {
     // No real inputs (empty span, or only aliases of `this`): strict
     // no-op, exactly like the zero-length pairwise chain. The closing
@@ -434,8 +442,8 @@ class SampleStore {
     PurgeAboveThreshold();
   }
 
-  // Removes retained entries with priority >= Threshold(). Needed after
-  // merges or external threshold reductions.
+  /// Removes retained entries with priority >= Threshold(). Needed after
+  /// merges or external threshold reductions.
   void PurgeAboveThreshold() {
     ++mutation_epoch_;
     CompactToK();
@@ -443,10 +451,10 @@ class SampleStore {
     FilterColumns([t = threshold_](double p) { return p < t; });
   }
 
-  // Externally lowers the threshold (threshold composition, merges);
-  // drops buffered entries that fall outside. Does not force a
-  // compaction: the filtered buffer is still a valid candidate set at
-  // the lowered bound.
+  /// Externally lowers the threshold (threshold composition, merges);
+  /// drops buffered entries that fall outside. Does not force a
+  /// compaction: the filtered buffer is still a valid candidate set at
+  /// the lowered bound.
   void LowerThreshold(double t) {
     if (t >= threshold_) return;
     ++mutation_epoch_;
@@ -454,9 +462,61 @@ class SampleStore {
     FilterColumns([t](double p) { return p < t; });
   }
 
+  /// Time-axis hook: stable extraction of retained entries. Canonicalizes,
+  /// then visits every entry in arrival order; entries for which
+  /// `remove(priority, const Payload&)` returns true are handed to
+  /// `consume(priority, Payload&&)` -- still in arrival order -- and
+  /// dropped; the survivors keep their arrival order and column lockstep.
+  /// Returns the number of entries extracted.
+  ///
+  /// The threshold is deliberately NOT touched: extraction models a change
+  /// of the underlying population (window expiry, stratum retirement), and
+  /// only the calling sampler knows what the acceptance rule over the
+  /// remaining population is. Bumps the mutation epoch iff something was
+  /// removed. Thread-safety: mutating call -- never run concurrently with
+  /// any other access to the same store.
+  template <typename Remove, typename Consume>
+  size_t ExtractIf(Remove&& remove, Consume&& consume) {
+    CompactToK();
+    size_t w = 0;
+    for (size_t i = 0; i < priority_.size(); ++i) {
+      if (remove(priority_[i], std::as_const(payload_[i]))) {
+        consume(priority_[i], std::move(payload_[i]));
+      } else {
+        if (w != i) {
+          priority_[w] = priority_[i];
+          payload_[w] = std::move(payload_[i]);
+        }
+        ++w;
+      }
+    }
+    const size_t removed = priority_.size() - w;
+    priority_.resize(w);
+    payload_.resize(w);
+    if (removed > 0) ++mutation_epoch_;
+    return removed;
+  }
+
+  /// Time-axis hook: visits every canonical payload mutably, in arrival
+  /// order, as `fn(priority, Payload&)`. Used by samplers that keep
+  /// per-item thresholds inside the payload (sliding window min-updates
+  /// them on eviction). Priorities are read-only: changing a priority
+  /// would invalidate the retention invariant, so it is not offered.
+  /// Always bumps the mutation epoch (the caller is assumed to change
+  /// observable payload state). Thread-safety: mutating call -- never run
+  /// concurrently with any other access to the same store.
+  template <typename Fn>
+  void ForEachMutablePayload(Fn&& fn) {
+    CompactToK();
+    ++mutation_epoch_;
+    for (size_t i = 0; i < priority_.size(); ++i) {
+      fn(priority_[i], payload_[i]);
+    }
+  }
+
  private:
-  // The epoch-free accept core shared by Offer and every batched/merge
-  // ingest loop: bound test, two column appends, compaction at 2k.
+  /// The epoch-free accept core shared by Offer and every batched/merge
+  /// ingest loop: bound test, two column appends, compaction at 2k.
   bool Accept(double priority, Payload payload) {
     if (priority >= threshold_) return false;
     priority_.push_back(priority);
@@ -465,10 +525,10 @@ class SampleStore {
     return true;
   }
 
-  // In-place stable filter over the parallel columns: keeps the entries
-  // whose priority satisfies `keep` (which may be stateful), preserving
-  // arrival order and priority/payload lockstep. Logically const -- the
-  // single place the columns are compacted/moved.
+  /// In-place stable filter over the parallel columns: keeps the entries
+  /// whose priority satisfies `keep` (which may be stateful), preserving
+  /// arrival order and priority/payload lockstep. Logically const -- the
+  /// single place the columns are compacted/moved.
   template <typename Keep>
   void FilterColumns(Keep&& keep) const {
     size_t w = 0;
@@ -485,20 +545,20 @@ class SampleStore {
     payload_.resize(w);
   }
 
-  // Compacts the candidate buffer down to the k smallest entries and
-  // tightens the acceptance bound to the (k+1)-th smallest buffered
-  // priority. No-op when the buffer already holds <= k entries, so the
-  // canonicalizing accessors are O(1) between ingest bursts.
+  /// Compacts the candidate buffer down to the k smallest entries and
+  /// tightens the acceptance bound to the (k+1)-th smallest buffered
+  /// priority. No-op when the buffer already holds <= k entries, so the
+  /// canonicalizing accessors are O(1) between ingest bursts.
   //
-  // The buffer always contains EVERY item ever offered below the current
-  // bound (minus entries dropped by earlier compactions, all of which
-  // were >= the bound at that time and hence >= the final threshold), so
-  // the (k+1)-th smallest buffered priority IS the (k+1)-th smallest
-  // priority ever offered -- the scalar reference's threshold.
+  /// The buffer always contains EVERY item ever offered below the current
+  /// bound (minus entries dropped by earlier compactions, all of which
+  /// were >= the bound at that time and hence >= the final threshold), so
+  /// the (k+1)-th smallest buffered priority IS the (k+1)-th smallest
+  /// priority ever offered -- the scalar reference's threshold.
   //
-  // Ties at the pivot are kept first-arrived-first (the later duplicates
-  // are exactly the offers a per-offer reference would have rejected at
-  // a full store). Logically const: mutates only the representation.
+  /// Ties at the pivot are kept first-arrived-first (the later duplicates
+  /// are exactly the offers a per-offer reference would have rejected at
+  /// a full store). Logically const: mutates only the representation.
   void CompactToK() const {
     const size_t n = priority_.size();
     if (n <= k_) return;
@@ -522,24 +582,24 @@ class SampleStore {
   }
 
   size_t k_;
-  // Candidate-buffer capacity (2k): compaction runs every k accepts and
-  // costs O(2k), i.e. amortized O(1) per accepted item.
+  /// Candidate-buffer capacity (2k): compaction runs every k accepts and
+  /// costs O(2k), i.e. amortized O(1) per accepted item.
   size_t capacity_;
   double initial_threshold_;
-  // The chunked acceptance bound; equals the canonical adaptive threshold
-  // whenever the buffer holds <= k entries. Mutable (with the columns):
-  // canonicalization under const accessors changes the representation,
-  // never the observable state.
+  /// The chunked acceptance bound; equals the canonical adaptive threshold
+  /// whenever the buffer holds <= k entries. Mutable (with the columns):
+  /// canonicalization under const accessors changes the representation,
+  /// never the observable state.
   mutable double threshold_;
-  // Parallel candidate columns; size <= capacity_, <= k when canonical.
+  /// Parallel candidate columns; size <= capacity_, <= k when canonical.
   mutable std::vector<double> priority_;
   mutable std::vector<Payload> payload_;
-  // Compaction scratch for the nth_element pivot scan (reused across
-  // compactions to avoid per-compaction allocation).
+  /// Compaction scratch for the nth_element pivot scan (reused across
+  /// compactions to avoid per-compaction allocation).
   mutable std::vector<double> scratch_;
-  // Observable-mutation counter (see mutation_epoch()). Deliberately NOT
-  // mutable: canonicalization under const accessors must not bump it, or
-  // query-side caches would self-invalidate.
+  /// Observable-mutation counter (see mutation_epoch()). Deliberately NOT
+  /// mutable: canonicalization under const accessors must not bump it, or
+  /// query-side caches would self-invalidate.
   uint64_t mutation_epoch_ = 0;
 };
 

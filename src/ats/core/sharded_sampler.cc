@@ -1,5 +1,6 @@
 #include "ats/core/sharded_sampler.h"
 
+#include "ats/core/epoch_cache.h"
 #include "ats/core/random.h"
 #include "ats/util/check.h"
 
@@ -59,16 +60,12 @@ size_t ShardedSampler::AddShardBatch(size_t shard,
 }
 
 const BottomK<ShardedSampler::Item>& ShardedSampler::MergeShards() const {
-  if (merged_cache_.has_value()) {
-    bool clean = true;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      if (shards_[s].sketch().store().mutation_epoch() !=
-          merged_epochs_[s]) {
-        clean = false;
-        break;
-      }
-    }
-    if (clean) return *merged_cache_;
+  const auto epoch_of = [](const PrioritySampler& s) {
+    return s.sketch().store().mutation_epoch();
+  };
+  if (merged_cache_.has_value() &&
+      EpochsClean(shards_, merged_epochs_, epoch_of)) {
+    return *merged_cache_;
   }
   // Some shard changed since the cached union: rebuild through the
   // threshold-pruned k-way engine (one global bound, block-prefiltered
@@ -83,9 +80,7 @@ const BottomK<ShardedSampler::Item>& ShardedSampler::MergeShards() const {
     inputs.push_back(&shard.sketch());
   }
   merged.MergeMany(inputs);
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    merged_epochs_[s] = shards_[s].sketch().store().mutation_epoch();
-  }
+  SnapshotEpochs(shards_, merged_epochs_, epoch_of);
   merged_cache_.emplace(std::move(merged));
   return *merged_cache_;
 }

@@ -53,48 +53,48 @@ class ShardedSampler {
  public:
   using Item = PrioritySampler::Item;
 
-  // num_shards: number of independent per-shard samplers. k: sample
-  // capacity -- of every shard AND of the merged sample (per-shard k
-  // guarantees the merged bottom-k is exact; see header comment).
-  // `coordinated` selects hash-derived priorities (default; required for
-  // exact equivalence with a coordinated single store); `seed` drives
-  // per-shard RNGs in independent mode.
+  /// num_shards: number of independent per-shard samplers. k: sample
+  /// capacity -- of every shard AND of the merged sample (per-shard k
+  /// guarantees the merged bottom-k is exact; see header comment).
+  /// `coordinated` selects hash-derived priorities (default; required for
+  /// exact equivalence with a coordinated single store); `seed` drives
+  /// per-shard RNGs in independent mode.
   ShardedSampler(size_t num_shards, size_t k, bool coordinated = true,
                  uint64_t seed = 1);
 
-  // Routes one item to its shard.
+  /// Routes one item to its shard.
   void Add(uint64_t key, double weight);
 
-  // Batched ingest: partitions the batch into per-shard runs, then feeds
-  // each shard through the fused batch pipeline (priorities for the whole
-  // run are computed into a dense column, block-filtered against the
-  // shard's acceptance bound, and accepted candidates appended to its
-  // compaction buffer in amortized O(1)). Returns the number of accepted
-  // items.
+  /// Batched ingest: partitions the batch into per-shard runs, then feeds
+  /// each shard through the fused batch pipeline (priorities for the whole
+  /// run are computed into a dense column, block-filtered against the
+  /// shard's acceptance bound, and accepted candidates appended to its
+  /// compaction buffer in amortized O(1)). Returns the number of accepted
+  /// items.
   size_t AddBatch(std::span<const Item> items);
 
-  // Feeds a pre-partitioned run straight into one shard, through the same
-  // fused batch pipeline -- no per-key hash->Offer round trips. Every
-  // item must route to `shard` (checked in debug builds). Because each
-  // shard owns an independent store, concurrent calls for DIFFERENT shard
-  // indices are safe -- this is the entry point for S ingest threads.
+  /// Feeds a pre-partitioned run straight into one shard, through the same
+  /// fused batch pipeline -- no per-key hash->Offer round trips. Every
+  /// item must route to `shard` (checked in debug builds). Because each
+  /// shard owns an independent store, concurrent calls for DIFFERENT shard
+  /// indices are safe -- this is the entry point for S ingest threads.
   size_t AddShardBatch(size_t shard, std::span<const Item> items);
 
-  // Shard index for a key (a salted hash independent of the priority
-  // hash, so shard routing does not bias per-shard priorities).
+  /// Shard index for a key (a salted hash independent of the priority
+  /// hash, so shard routing does not bias per-shard priorities).
   size_t ShardOf(uint64_t key) const;
 
-  // Merged bottom-k sample of the whole stream with per-item inclusion
-  // probabilities at the merged threshold; feeds the usual estimators.
+  /// Merged bottom-k sample of the whole stream with per-item inclusion
+  /// probabilities at the merged threshold; feeds the usual estimators.
   std::vector<SampleEntry> Sample() const;
 
-  // The merged adaptive threshold (the global (k+1)-th smallest priority
-  // in coordinated mode).
+  /// The merged adaptive threshold (the global (k+1)-th smallest priority
+  /// in coordinated mode).
   double MergedThreshold() const;
 
-  // Sample and threshold from a single shard-union pass; use this when
-  // both are needed per query (Sample() + MergedThreshold() would merge
-  // twice).
+  /// Sample and threshold from a single shard-union pass; use this when
+  /// both are needed per query (Sample() + MergedThreshold() would merge
+  /// twice).
   struct MergedSample {
     std::vector<SampleEntry> entries;
     double threshold;
@@ -104,27 +104,27 @@ class ShardedSampler {
   size_t num_shards() const { return shards_.size(); }
   size_t k() const { return k_; }
 
-  // Total items currently retained across all shards (>= merged sample
-  // size; the merge re-caps at k).
+  /// Total items currently retained across all shards (>= merged sample
+  /// size; the merge re-caps at k).
   size_t TotalRetained() const;
 
   const PrioritySampler& shard(size_t i) const { return shards_[i]; }
 
  private:
-  // Returns the k-capacity union of all shard stores, rebuilt through
-  // the k-way merge engine only when some shard's mutation epoch moved
-  // since the cached union was taken (the dirty-epoch cache).
+  /// Returns the k-capacity union of all shard stores, rebuilt through
+  /// the k-way merge engine only when some shard's mutation epoch moved
+  /// since the cached union was taken (the dirty-epoch cache).
   const BottomK<Item>& MergeShards() const;
 
   size_t k_;
   uint64_t route_salt_;
   std::vector<PrioritySampler> shards_;
-  // Per-shard scratch buffers reused across AddBatch calls.
+  /// Per-shard scratch buffers reused across AddBatch calls.
   std::vector<std::vector<Item>> batch_scratch_;
-  // Query-side merge cache: the shard union plus the per-shard
-  // SampleStore::mutation_epoch() snapshot it was built at. Mutable with
-  // the same contract as the stores' canonicalization: refreshed under
-  // const from single-threaded query context, never from ingest.
+  /// Query-side merge cache: the shard union plus the per-shard
+  /// SampleStore::mutation_epoch() snapshot it was built at. Mutable with
+  /// the same contract as the stores' canonicalization: refreshed under
+  /// const from single-threaded query context, never from ingest.
   mutable std::optional<BottomK<Item>> merged_cache_;
   mutable std::vector<uint64_t> merged_epochs_;
 };

@@ -1,5 +1,6 @@
 #include "ats/samplers/budget_sampler.h"
 
+#include "ats/core/sample_store.h"
 #include "ats/util/check.h"
 
 namespace ats {
@@ -23,19 +24,61 @@ bool BudgetSampler::Add(uint64_t key, double size, double value,
   ATS_CHECK(size > 0.0);
   ATS_CHECK(weight > 0.0);
   if (size > budget_) return false;  // can never fit: inclusion prob 0
+  return Insert(key, size, value, weight,
+                rng_.NextDoubleOpenZero() / weight);
+}
+
+bool BudgetSampler::Insert(uint64_t key, double size, double value,
+                           double weight, double priority) {
+  if (priority >= threshold_) return false;
   Item item;
   item.key = key;
   item.size = size;
   item.value = value;
   item.weight = weight;
-  item.priority = rng_.NextDoubleOpenZero() / weight;
-  if (item.priority >= threshold_) return false;
+  item.priority = priority;
   items_.insert(item);
   used_ += size;
   Shrink();
   // The item may have been evicted again immediately (it might itself be
   // the first-overflow item).
   return item.priority < threshold_;
+}
+
+size_t BudgetSampler::AddBatch(std::span<const BatchItem> items) {
+  const size_t n = items.size();
+  batch_priorities_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ATS_CHECK(items[i].size > 0.0);
+    ATS_CHECK(items[i].weight > 0.0);
+    // Oversized items draw no priority (the scalar path rejects them
+    // before its draw); an infinite column entry can never pass the
+    // block filter, so they stay invisible downstream too.
+    batch_priorities_[i] =
+        items[i].size > budget_
+            ? kInfiniteThreshold
+            : rng_.NextDoubleOpenZero() / items[i].weight;
+  }
+  size_t accepted = 0;
+  const auto offer = [&](size_t i) {
+    const BatchItem& it = items[i];
+    accepted += Insert(it.key, it.size, it.value, it.weight,
+                       batch_priorities_[i])
+                    ? 1
+                    : 0;
+  };
+  size_t i = 0;
+  for (; i + internal::kIngestBlock <= n; i += internal::kIngestBlock) {
+    // Snapshot the threshold per block (it only decreases; Insert
+    // re-checks the live value) -- the same pre-filter argument as
+    // SampleStore::OfferBatch.
+    internal::VisitBlockCandidates(batch_priorities_.data() + i, threshold_,
+                                   [&](size_t j) { offer(i + j); });
+  }
+  for (; i < n; ++i) {
+    if (batch_priorities_[i] < threshold_) offer(i);
+  }
+  return accepted;
 }
 
 void BudgetSampler::Shrink() {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "ats/core/random.h"
@@ -40,6 +41,24 @@ class BudgetSampler {
   // Returns true iff the item is currently retained.
   bool Add(uint64_t key, double size, double value, double weight = 1.0);
 
+  // One batched-ingest input (AddBatch).
+  struct BatchItem {
+    uint64_t key = 0;
+    double size = 0.0;
+    double value = 0.0;
+    double weight = 1.0;
+  };
+
+  // Batched ingest: exactly equivalent to calling Add() on each item in
+  // order (same retained set, threshold, and RNG stream), but priorities
+  // are drawn into a dense column and each 64-item block is culled
+  // against the current threshold with the shared branch-free compare
+  // scan (the budget threshold only ever decreases, so items culled
+  // against the block-start snapshot would also be rejected one at a
+  // time with no state change; survivors re-check the live threshold).
+  // Returns the number of items accepted at their insertion instant.
+  size_t AddBatch(std::span<const BatchItem> items);
+
   // Current adaptive threshold: priority of the first item (ascending
   // priority order over the whole stream) that would overflow the budget;
   // +infinity until the budget has ever been exceeded.
@@ -57,6 +76,11 @@ class BudgetSampler {
 
  private:
   void Shrink();
+  // The insertion tail shared by Add and AddBatch: threshold re-check,
+  // multiset insert, budget shrink. Returns true iff the item is still
+  // retained after the shrink.
+  bool Insert(uint64_t key, double size, double value, double weight,
+              double priority);
 
   double budget_;
   Xoshiro256 rng_;
@@ -64,6 +88,8 @@ class BudgetSampler {
   double used_ = 0.0;
   // Retained items ordered by ascending priority.
   std::multiset<Item, bool (*)(const Item&, const Item&)> items_;
+  // Priority column scratch for AddBatch (reused across calls).
+  std::vector<double> batch_priorities_;
 };
 
 }  // namespace ats

@@ -1,29 +1,93 @@
 #include "ats/samplers/sliding_window.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstring>
+#include <limits>
 
 #include "ats/util/check.h"
+
+namespace {
+
+constexpr uint32_t kWindowMagic = 0x53574e31;  // "SWN1"
+constexpr uint32_t kWindowVersion = 1;
+
+// Field offsets inside one 32-byte wire entry (id, time, priority,
+// threshold; see docs/WIRE_FORMAT.md).
+constexpr size_t kEntryTimeOffset = 8;
+constexpr size_t kEntryPriorityOffset = 16;
+constexpr size_t kEntryThresholdOffset = 24;
+
+double ReadEntryDouble(std::string_view entries, size_t offset) {
+  double v;
+  std::memcpy(&v, entries.data() + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
 
 namespace ats {
 
 SlidingWindowSampler::SlidingWindowSampler(size_t k, double window,
                                            uint64_t seed)
-    : k_(k), window_(window), rng_(seed) {
+    : k_(k),
+      window_(window),
+      rng_(seed),
+      // Uniform priorities live in (0, 1]; the store bound stays at 1.0
+      // forever because eviction is manual (see Arrive). The store is
+      // sized at TWICE the sampler's k: it holds at most k live plus k
+      // dead-prefix entries (see ExpireUntil), and the store's own
+      // priority-ordered compaction -- which fires whenever a
+      // canonicalizing accessor sees more than its k entries -- must
+      // never run on windowed state (it would evict by priority, not by
+      // time).
+      current_(2 * k, 1.0),
+      last_time_(-std::numeric_limits<double>::infinity()) {
   ATS_CHECK(k >= 1);
   ATS_CHECK(window > 0.0);
 }
 
 void SlidingWindowSampler::ExpireUntil(double now) {
-  // Current -> expired at one window length.
-  while (!current_.empty() && current_.front().time <= now - window_) {
-    expired_.push_back(current_.front());
-    current_.pop_front();
+  if (now > last_time_) last_time_ = now;
+  const double cutoff = last_time_ - window_;
+  // Current -> expired at one window length. The store columns are in
+  // arrival == time order, so the expiring entries are a PREFIX: they
+  // are copied into the expired deque and only marked dead
+  // (dead_prefix_), not physically removed -- a vector-backed store
+  // cannot pop its front in O(1), and eagerly extracting the prefix
+  // would shift the k live entries on every expiring arrival (measured
+  // ~100x on the per-arrival bench). The physical extraction is
+  // deferred to CleanupDeadPrefix: amortized O(1) per expired item, and
+  // the dead prefix stays below k so the store (at most k live + k-1
+  // dead entries) never reaches its 2k compaction point.
+  const auto& payloads = current_.payloads();
+  if (dead_prefix_ < payloads.size() &&
+      payloads[dead_prefix_].time <= cutoff) {
+    ++aux_epoch_;
+    while (dead_prefix_ < payloads.size() &&
+           payloads[dead_prefix_].time <= cutoff) {
+      expired_.push_back(ItemAt(dead_prefix_));
+      ++dead_prefix_;
+    }
+    if (dead_prefix_ >= k_) CleanupDeadPrefix();
   }
   // Expired items are dropped at two window lengths.
-  while (!expired_.empty() && expired_.front().time <= now - 2.0 * window_) {
+  const double drop = last_time_ - 2.0 * window_;
+  while (!expired_.empty() && expired_.front().time <= drop) {
     expired_.pop_front();
+    ++aux_epoch_;
   }
+}
+
+void SlidingWindowSampler::CleanupDeadPrefix() {
+  if (dead_prefix_ == 0) return;
+  size_t index = 0;
+  const size_t dead = dead_prefix_;
+  current_.ExtractIf(
+      [&index, dead](double, const WindowItem&) { return index++ < dead; },
+      [](double, WindowItem&&) {});
+  dead_prefix_ = 0;
 }
 
 bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
@@ -32,18 +96,22 @@ bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
 
   // Initial threshold: 1 while the current sample is underfull, else the
   // k-th smallest of the current priorities together with the new one.
+  // The live current set is the column region past the dead prefix.
   double initial_threshold = 1.0;
-  if (current_.size() >= k_) {
+  const bool full = current_.size() - dead_prefix_ >= k_;
+  if (full) {
     // k-th smallest of (k current priorities) u {priority}: with m1 the
     // largest and m2 the second largest current priority, it is m1 if the
     // newcomer is above m1, otherwise max(m2, priority).
     double m1 = 0.0, m2 = 0.0;
-    for (const StoredItem& it : current_) {
-      if (it.priority > m1) {
+    const auto& priorities = current_.priorities();
+    for (size_t i = dead_prefix_; i < priorities.size(); ++i) {
+      const double p = priorities[i];
+      if (p > m1) {
         m2 = m1;
-        m1 = it.priority;
-      } else if (it.priority > m2) {
-        m2 = it.priority;
+        m1 = p;
+      } else if (p > m2) {
+        m2 = p;
       }
     }
     initial_threshold = priority >= m1 ? m1 : std::max(m2, priority);
@@ -51,28 +119,49 @@ bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
 
   if (priority >= initial_threshold) return false;
 
-  current_.push_back(StoredItem{id, time, priority, initial_threshold});
-  if (current_.size() > k_) {
-    // Lower every current threshold to min(T_i, T_n); this evicts exactly
-    // the largest-priority item (its priority is >= the new threshold).
+  if (full) {
+    // The insertion will push |C| above k: lower every current threshold
+    // to min(T_i, T_n) and evict the (first) largest-priority item -- its
+    // priority is >= the new threshold. Both run on the physically clean
+    // store (evictions are O(k) anyway, so the deferred prefix cleanup
+    // rides along) and BEFORE the store sees the newcomer, so the store
+    // never exceeds k entries here and its own compaction stays idle.
+    CleanupDeadPrefix();
+    current_.ForEachMutablePayload(
+        [initial_threshold](double, WindowItem& item) {
+          item.threshold = std::min(item.threshold, initial_threshold);
+        });
+    const auto& priorities = current_.priorities();
     size_t evict = 0;
-    for (size_t i = 0; i < current_.size(); ++i) {
-      current_[i].threshold =
-          std::min(current_[i].threshold, initial_threshold);
-      if (current_[i].priority > current_[evict].priority) evict = i;
+    for (size_t i = 1; i < priorities.size(); ++i) {
+      if (priorities[i] > priorities[evict]) evict = i;
     }
-    ATS_DCHECK(current_[evict].priority >= initial_threshold ||
-               current_.size() <= k_);
-    current_.erase(current_.begin() + static_cast<std::ptrdiff_t>(evict));
+    ATS_DCHECK(priorities[evict] >= initial_threshold);
+    size_t index = 0;
+    current_.ExtractIf(
+        [&index, evict](double, const WindowItem&) {
+          return index++ == evict;
+        },
+        [](double, WindowItem&&) {});
   }
+  current_.Offer(priority, WindowItem{id, time, initial_threshold});
   return true;
+}
+
+SlidingWindowSampler::StoredItem SlidingWindowSampler::ItemAt(
+    size_t i) const {
+  const WindowItem& item = current_.payloads()[i];
+  return StoredItem{item.id, item.time, current_.priorities()[i],
+                    item.threshold};
 }
 
 double SlidingWindowSampler::GlThreshold(double now) {
   ExpireUntil(now);
+  CleanupDeadPrefix();
   std::vector<double> priorities;
   priorities.reserve(current_.size() + expired_.size());
-  for (const StoredItem& it : current_) priorities.push_back(it.priority);
+  priorities.assign(current_.priorities().begin(),
+                    current_.priorities().end());
   for (const StoredItem& it : expired_) priorities.push_back(it.priority);
   if (priorities.size() < k_) return 1.0;
   std::nth_element(priorities.begin(),
@@ -81,19 +170,30 @@ double SlidingWindowSampler::GlThreshold(double now) {
   return priorities[k_ - 1];
 }
 
+double SlidingWindowSampler::CurrentMinThreshold() const {
+  double t = 1.0;
+  const auto& payloads = current_.payloads();
+  for (size_t i = dead_prefix_; i < payloads.size(); ++i) {
+    t = std::min(t, payloads[i].threshold);
+  }
+  return t;
+}
+
 double SlidingWindowSampler::ImprovedThreshold(double now) {
   ExpireUntil(now);
-  double t = 1.0;
-  for (const StoredItem& it : current_) t = std::min(t, it.threshold);
-  return t;
+  CleanupDeadPrefix();
+  return CurrentMinThreshold();
 }
 
 std::vector<SampleEntry> SlidingWindowSampler::SampleWithThreshold(
     double threshold) const {
   std::vector<SampleEntry> out;
-  for (const StoredItem& it : current_) {
-    if (it.priority < threshold) {
-      out.push_back(MakeUniformEntry(it.id, 1.0, it.priority, threshold));
+  const auto& priorities = current_.priorities();
+  const auto& payloads = current_.payloads();
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    if (priorities[i] < threshold) {
+      out.push_back(MakeUniformEntry(payloads[i].id, 1.0, priorities[i],
+                                     threshold));
     }
   }
   return out;
@@ -109,13 +209,370 @@ std::vector<SampleEntry> SlidingWindowSampler::ImprovedSample(double now) {
 
 size_t SlidingWindowSampler::StoredCount(double now) {
   ExpireUntil(now);
+  CleanupDeadPrefix();
   return current_.size() + expired_.size();
 }
 
 std::vector<SlidingWindowSampler::StoredItem>
 SlidingWindowSampler::CurrentItems(double now) {
   ExpireUntil(now);
-  return {current_.begin(), current_.end()};
+  CleanupDeadPrefix();
+  std::vector<StoredItem> out;
+  out.reserve(current_.size());
+  for (size_t i = 0; i < current_.size(); ++i) {
+    out.push_back(ItemAt(i));
+  }
+  return out;
+}
+
+// --- Merging ----------------------------------------------------------
+
+SlidingWindowSampler::WindowSnapshot SlidingWindowSampler::SnapshotAt(
+    double now) const {
+  WindowSnapshot snap;
+  const double cut_window = now - window_;
+  const double cut_drop = now - 2.0 * window_;
+  // Expired items are older than any lazily-expiring current item, so
+  // appending the current spill-over after them keeps time order.
+  for (const StoredItem& it : expired_) {
+    if (it.time > cut_drop && it.time <= cut_window) {
+      snap.expired.push_back(it);
+    }
+  }
+  // Dead-prefix entries already live in expired_ as copies; start past
+  // them to avoid double counting.
+  for (size_t i = dead_prefix_; i < current_.size(); ++i) {
+    const StoredItem it = ItemAt(i);
+    if (it.time <= cut_drop) continue;
+    (it.time <= cut_window ? snap.expired : snap.current).push_back(it);
+  }
+  return snap;
+}
+
+SlidingWindowSampler::WindowSnapshot SlidingWindowSampler::SnapshotOfView(
+    const FrameView& view, double now) {
+  WindowSnapshot snap;
+  const double cut_window = now - view.window();
+  const double cut_drop = now - 2.0 * view.window();
+  for (size_t i = view.current_count();
+       i < view.current_count() + view.expired_count(); ++i) {
+    const StoredItem it = view.entry(i);
+    if (it.time > cut_drop && it.time <= cut_window) {
+      snap.expired.push_back(it);
+    }
+  }
+  for (size_t i = 0; i < view.current_count(); ++i) {
+    const StoredItem it = view.entry(i);
+    if (it.time <= cut_drop) continue;
+    (it.time <= cut_window ? snap.expired : snap.current).push_back(it);
+  }
+  return snap;
+}
+
+void SlidingWindowSampler::MergeOneSnapshot(WindowSnapshot snap,
+                                            double now) {
+  ExpireUntil(now);
+  CleanupDeadPrefix();
+  ++aux_epoch_;
+  // Min threshold composition (Theorem 9): the common bound is the min
+  // of both sides' improved thresholds at the merge instant.
+  double bound = CurrentMinThreshold();
+  for (const StoredItem& it : snap.current) {
+    bound = std::min(bound, it.threshold);
+  }
+  // Candidates: the time-sorted union of the current sets, self first
+  // for equal times (stable), matching the accumulation order of every
+  // earlier merge so priority ties resolve deterministically.
+  std::vector<StoredItem> candidates;
+  candidates.reserve(current_.size());
+  for (size_t i = 0; i < current_.size(); ++i) {
+    candidates.push_back(ItemAt(i));
+  }
+  candidates.insert(candidates.end(), snap.current.begin(),
+                    snap.current.end());
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const StoredItem& a, const StoredItem& b) {
+                     return a.time < b.time;
+                   });
+  std::erase_if(candidates, [bound](const StoredItem& it) {
+    return it.priority >= bound;
+  });
+  // Re-cap at k with the usual bottom-k selection (ties at the pivot
+  // kept first-arrived-first, mirroring the store's compaction).
+  double t_final = bound;
+  if (candidates.size() > k_) {
+    std::vector<double> scratch;
+    scratch.reserve(candidates.size());
+    for (const StoredItem& it : candidates) scratch.push_back(it.priority);
+    const auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(k_);
+    std::nth_element(scratch.begin(), nth, scratch.end());
+    const double pivot = *nth;
+    t_final = std::min(bound, pivot);
+    size_t below = 0;
+    for (const StoredItem& it : candidates) below += it.priority < pivot;
+    size_t ties_needed = k_ - below;
+    std::vector<StoredItem> kept;
+    kept.reserve(k_);
+    for (const StoredItem& it : candidates) {
+      if (it.priority < pivot) {
+        kept.push_back(it);
+      } else if (it.priority == pivot && ties_needed > 0) {
+        --ties_needed;
+        kept.push_back(it);
+      }
+    }
+    candidates = std::move(kept);
+  }
+  // Min-compose the per-item thresholds with the final bound. The
+  // improved threshold (min over items) already equals t_final, so this
+  // changes no query result; it keeps per-item state consistent with
+  // what a single sampler's eviction chain records.
+  for (StoredItem& it : candidates) {
+    it.threshold = std::min(it.threshold, t_final);
+  }
+  // Rebuild the current store (time order preserved by construction).
+  current_.ExtractIf([](double, const WindowItem&) { return true; },
+                     [](double, WindowItem&&) {});
+  for (const StoredItem& it : candidates) {
+    current_.Offer(it.priority, WindowItem{it.id, it.time, it.threshold});
+  }
+  // Union the expired sets in time order; they feed the G&L threshold of
+  // the merged sampler. Self expiry at `now` already trimmed both sides
+  // (the snapshot was filtered at `now`).
+  std::vector<StoredItem> merged_expired(expired_.begin(), expired_.end());
+  merged_expired.insert(merged_expired.end(), snap.expired.begin(),
+                        snap.expired.end());
+  std::stable_sort(merged_expired.begin(), merged_expired.end(),
+                   [](const StoredItem& a, const StoredItem& b) {
+                     return a.time < b.time;
+                   });
+  expired_.assign(merged_expired.begin(), merged_expired.end());
+}
+
+void SlidingWindowSampler::MergeMany(
+    std::span<const SlidingWindowSampler* const> inputs) {
+  // The windowed merge is inherently clock-sensitive: improved
+  // thresholds RECOVER as old constraints expire, so there is no
+  // clock-free global bound to hoist the way SampleStore::MergeMany
+  // does. K-way aggregation is therefore DEFINED as the pairwise chain
+  // in span order -- one shared snapshot/selection core per input, each
+  // step at the ratcheting clock max -- and the differential test pins
+  // MergeMany to the explicit Merge chain bit-for-bit. Inputs aliasing
+  // `this` are skipped; with no real inputs this is a strict no-op
+  // (expiry must not advance, ties at thresholds must survive).
+  for (const SlidingWindowSampler* in : inputs) {
+    if (in == this) continue;
+    ATS_CHECK(in->window_ == window_);
+    const double now = std::max(last_time_, in->last_time_);
+    MergeOneSnapshot(in->SnapshotAt(now), now);
+  }
+}
+
+void SlidingWindowSampler::Merge(const SlidingWindowSampler& other) {
+  const SlidingWindowSampler* input = &other;
+  MergeMany(std::span<const SlidingWindowSampler* const>(&input, 1));
+}
+
+// --- Wire format ------------------------------------------------------
+
+void SlidingWindowSampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kWindowMagic, kWindowVersion);
+  w.WriteU64(k_);
+  w.WriteDouble(window_);
+  w.WriteDouble(last_time_);
+  WriteRngState(w, rng_.State());
+  // The live current region starts past the dead prefix (those entries
+  // already travel in the expired region below).
+  w.WriteU64(current_.size() - dead_prefix_);
+  w.WriteU64(expired_.size());
+  const auto write_entry = [&w](const StoredItem& it) {
+    w.WriteU64(it.id);
+    w.WriteDouble(it.time);
+    w.WriteDouble(it.priority);
+    w.WriteDouble(it.threshold);
+  };
+  for (size_t i = dead_prefix_; i < current_.size(); ++i) {
+    write_entry(ItemAt(i));
+  }
+  for (const StoredItem& it : expired_) write_entry(it);
+}
+
+namespace {
+
+// Shared per-entry validation for Deserialize and DeserializeView. The
+// sampler's invariants are tight enough to check field-by-field:
+// priorities are open-unit-interval draws below a threshold in (0, 1];
+// priority == threshold ties are legal storage (the item whose priority
+// became an eviction bound stays stored; see docs/WIRE_FORMAT.md).
+// Entries must sit inside their region's time range and arrive in
+// non-decreasing time order. NaNs fail the comparisons by construction.
+bool ValidWindowEntry(const SlidingWindowSampler::StoredItem& it,
+                      double region_min, double region_max,
+                      double prev_time) {
+  if (!(it.priority > 0.0) || !(it.priority < 1.0)) return false;
+  if (!(it.threshold > 0.0) || !(it.threshold <= 1.0)) return false;
+  if (!(it.priority <= it.threshold)) return false;
+  if (!(it.time > region_min) || !(it.time <= region_max)) return false;
+  if (!(it.time >= prev_time)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<SlidingWindowSampler> SlidingWindowSampler::Deserialize(
+    ByteReader& r) {
+  if (!ReadSketchHeader(r, kWindowMagic, kWindowVersion)) {
+    return std::nullopt;
+  }
+  const auto k = r.ReadU64();
+  const auto window = r.ReadDouble();
+  const auto last_time = r.ReadDouble();
+  if (!k || !window || !last_time) return std::nullopt;
+  if (*k < 1 || !(*window > 0.0) || !std::isfinite(*window)) {
+    return std::nullopt;
+  }
+  // last_time may be -infinity (a sampler that never saw an arrival),
+  // never NaN or +infinity.
+  if (std::isnan(*last_time) ||
+      *last_time == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
+  const auto current_count = r.ReadU64();
+  const auto expired_count = r.ReadU64();
+  if (!current_count || !expired_count) return std::nullopt;
+  if (*current_count > *k) return std::nullopt;
+
+  SlidingWindowSampler out(static_cast<size_t>(*k), *window, /*seed=*/1);
+  out.rng_.SetState(*rng_state);
+  out.last_time_ = *last_time;
+  const auto read_entry = [&r]() -> std::optional<StoredItem> {
+    const auto id = r.ReadU64();
+    const auto time = r.ReadDouble();
+    const auto priority = r.ReadDouble();
+    const auto threshold = r.ReadDouble();
+    if (!id.has_value() || !time || !priority || !threshold) {
+      return std::nullopt;
+    }
+    return StoredItem{*id, *time, *priority, *threshold};
+  };
+  double prev = -std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i < *current_count; ++i) {
+    const auto it = read_entry();
+    if (!it ||
+        !ValidWindowEntry(*it, *last_time - *window, *last_time, prev)) {
+      return std::nullopt;
+    }
+    prev = it->time;
+    out.current_.Offer(it->priority,
+                       WindowItem{it->id, it->time, it->threshold});
+  }
+  prev = -std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i < *expired_count; ++i) {
+    const auto it = read_entry();
+    if (!it || !ValidWindowEntry(*it, *last_time - 2.0 * *window,
+                                 *last_time - *window, prev)) {
+      return std::nullopt;
+    }
+    prev = it->time;
+    out.expired_.push_back(*it);
+  }
+  return out;
+}
+
+SlidingWindowSampler::StoredItem SlidingWindowSampler::FrameView::entry(
+    size_t i) const {
+  ATS_DCHECK(i < current_count_ + expired_count_);
+  const std::string_view e = entries_.substr(i * kStride, kStride);
+  StoredItem it;
+  uint64_t id;
+  std::memcpy(&id, e.data(), sizeof(id));
+  it.id = id;
+  it.time = ReadEntryDouble(e, kEntryTimeOffset);
+  it.priority = ReadEntryDouble(e, kEntryPriorityOffset);
+  it.threshold = ReadEntryDouble(e, kEntryThresholdOffset);
+  return it;
+}
+
+std::optional<SlidingWindowSampler::FrameView>
+SlidingWindowSampler::DeserializeView(std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kWindowMagic, kWindowVersion);
+  if (!r) return std::nullopt;
+  const auto k = r->ReadU64();
+  const auto window = r->ReadDouble();
+  const auto last_time = r->ReadDouble();
+  if (!k || !window || !last_time) return std::nullopt;
+  if (*k < 1 || !(*window > 0.0) || !std::isfinite(*window)) {
+    return std::nullopt;
+  }
+  if (std::isnan(*last_time) ||
+      *last_time == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  if (!ReadRngState(*r)) return std::nullopt;
+  const auto current_count = r->ReadU64();
+  const auto expired_count = r->ReadU64();
+  if (!current_count || !expired_count) return std::nullopt;
+  if (*current_count > *k) return std::nullopt;
+  // Fixed-stride entry region: one size comparison bounds-checks every
+  // entry; the division-first clauses keep the arithmetic overflow-free.
+  const std::string_view entries = r->Rest();
+  const size_t max_entries = entries.size() / FrameView::kStride;
+  if (*current_count > max_entries || *expired_count > max_entries ||
+      *current_count + *expired_count > max_entries ||
+      entries.size() != (*current_count + *expired_count) *
+                            FrameView::kStride) {
+    return std::nullopt;
+  }
+  FrameView view;
+  view.k_ = *k;
+  view.window_ = *window;
+  view.last_time_ = *last_time;
+  view.current_count_ = static_cast<size_t>(*current_count);
+  view.expired_count_ = static_cast<size_t>(*expired_count);
+  view.entries_ = entries;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < view.current_count_; ++i) {
+    const StoredItem it = view.entry(i);
+    if (!ValidWindowEntry(it, *last_time - *window, *last_time, prev)) {
+      return std::nullopt;
+    }
+    prev = it.time;
+  }
+  prev = -std::numeric_limits<double>::infinity();
+  for (size_t i = view.current_count_;
+       i < view.current_count_ + view.expired_count_; ++i) {
+    const StoredItem it = view.entry(i);
+    if (!ValidWindowEntry(it, *last_time - 2.0 * *window,
+                          *last_time - *window, prev)) {
+      return std::nullopt;
+    }
+    prev = it.time;
+  }
+  return view;
+}
+
+bool SlidingWindowSampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Validate every frame before the first one is applied; a window
+  // mismatch is as fatal as a parse failure (merging different window
+  // lengths has no defined semantics).
+  std::vector<FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view || view->window() != window_) return false;
+    views.push_back(*view);
+  }
+  // Fold the validated views through the pairwise core in span order --
+  // observationally identical to Deserialize + Merge per frame, without
+  // materializing a sampler per frame. An empty list is a strict no-op.
+  for (const FrameView& v : views) {
+    const double now = std::max(last_time_, v.last_time());
+    MergeOneSnapshot(SnapshotOfView(v, now), now);
+  }
+  return true;
 }
 
 }  // namespace ats

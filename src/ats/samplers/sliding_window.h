@@ -22,15 +22,49 @@
 //    composition preserves 1-substitutability (Theorem 9); the min is
 //    constant across the window so Theorem 6 upgrades it to full
 //    substitutability. Same sketch, roughly twice the usable sample.
+//
+// Retention lives on the shared SampleStore core: the current set C(t) is
+// a SampleStore<WindowItem> whose priority column carries R_i and whose
+// payload column carries (id, time, per-item threshold T_i). Window
+// expiry is the store's ExtractIf hook (a stable time partition -- the
+// columns are always in arrival == time order), the min-update on
+// eviction is ForEachMutablePayload, and the capacity eviction itself is
+// the same bottom-k selection the store's compaction uses. That puts the
+// windowed sampler on the identical retention engine as the sketches, so
+// it inherits the mergeable-sketch wire format and the k-way
+// aggregation below.
+//
+// Merging (distributed windows): samplers over DISJOINT key partitions of
+// one stream, sharing the time axis, merge by min threshold composition
+// (Theorem 9): the union of the current sets under the common bound
+// t = min of both sides' improved thresholds at the merge instant,
+// re-capped at k by the usual bottom-k rule when the union overflows
+// (every per-item threshold is min-updated with the final bound, which
+// leaves the improved threshold -- already the min over all items --
+// unchanged); expired sets are unioned in time order and trimmed at two
+// windows, so the G&L threshold of the merged sampler is computed over
+// the full union. Unlike the sketches' threshold-pruned one-shot engine,
+// the windowed rule is clock-SENSITIVE -- improved thresholds recover as
+// old constraints expire -- so there is no clock-free global bound to
+// hoist: MergeMany/MergeManyFrames are DEFINED as the pairwise chain in
+// span order (one shared snapshot/selection core per input, frames all
+// validated before the first is applied) and differential-tested
+// bit-identical to the explicit Merge chain (window_mergeable_test.cc).
 #ifndef ATS_SAMPLERS_SLIDING_WINDOW_H_
 #define ATS_SAMPLERS_SLIDING_WINDOW_H_
 
 #include <cstdint>
 #include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ats/core/random.h"
+#include "ats/core/sample_store.h"
 #include "ats/core/threshold.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -43,47 +77,184 @@ class SlidingWindowSampler {
     double threshold = 1.0;  // per-item threshold T_i(t), min-updated
   };
 
-  // k: target sample size / space bound per window; window: Delta.
+  /// k: target sample size / space bound per window; window: Delta.
   SlidingWindowSampler(size_t k, double window, uint64_t seed);
 
-  // Feeds an arrival (times must be non-decreasing). Returns true iff the
-  // item was stored. The priority is drawn internally from Uniform(0,1).
+  /// Feeds an arrival (times must be non-decreasing). Returns true iff the
+  /// item was stored. The priority is drawn internally from Uniform(0,1).
+  /// Thread-safety: mutating call -- external synchronization required.
   bool Arrive(double time, uint64_t id);
 
   // --- Queries (all advance expiry to `now`) ---
+  //
+  // Queries mutate the representation (items move current -> expired and
+  // expired items age out), so like ingest they must not run concurrently
+  // with each other or with Arrive on the same sampler. `now` must be
+  // non-decreasing across calls.
 
-  // G&L final threshold: k-th smallest priority among current u expired.
+  /// G&L final threshold: k-th smallest priority among current u expired.
   double GlThreshold(double now);
 
-  // Improved final threshold: min over current items' per-item thresholds.
+  /// Improved final threshold: min over current items' per-item thresholds.
   double ImprovedThreshold(double now);
 
-  // Uniform samples from the window (t - window, now] under each final
-  // threshold. Entries carry Uniform priorities and the final threshold.
+  /// Uniform samples from the window (t - window, now] under each final
+  /// threshold. Entries carry Uniform priorities and the final threshold.
   std::vector<SampleEntry> GlSample(double now);
   std::vector<SampleEntry> ImprovedSample(double now);
 
-  // Number of stored (current + expired) items: the space actually used.
+  /// Number of stored (current + expired) items: the space actually used.
   size_t StoredCount(double now);
 
-  // Current items (after expiry at `now`), for the Figure 1 threshold
-  // trace. Sorted by arrival time.
+  /// Current items (after expiry at `now`), for the Figure 1 threshold
+  /// trace. Sorted by arrival time.
   std::vector<StoredItem> CurrentItems(double now);
 
   size_t k() const { return k_; }
   double window() const { return window_; }
 
+  /// Latest time observed (arrivals, queries, merges). Serialization and
+  /// merging canonicalize expiry at this instant.
+  double last_time() const { return last_time_; }
+
+  /// Monotone counter covering every observable mutation (accepted
+  /// arrivals, evictions, expiry movement, merges). Query-side caches
+  /// (ShardedWindowSampler) snapshot it to skip re-merging clean shards.
+  uint64_t mutation_epoch() const {
+    return current_.mutation_epoch() + aux_epoch_;
+  }
+
+  /// Merges a sampler over a disjoint key partition of the same timeline
+  /// (windows must match; ATS_CHECK enforced). Equivalent to
+  /// MergeMany({&other}); self-merge is a no-op.
+  void Merge(const SlidingWindowSampler& other);
+
+  /// K-way merge: bit-identical to merging the inputs one by one with
+  /// Merge() in span order (differential-tested) -- the windowed rule is
+  /// clock-sensitive, so the chain IS the definition (see the file
+  /// comment). Inputs aliasing `this` are skipped; with no real inputs
+  /// this is a strict no-op.
+  void MergeMany(std::span<const SlidingWindowSampler* const> inputs);
+
+  // --- Versioned wire format (magic "SWN1") ---
+  //
+  // The frame carries k, window, last_time, the RNG state (a restored
+  // sampler continues the exact priority stream), and the current +
+  // expired entry regions in time order. Per-item validation admits
+  // priority == threshold ties: storage keeps the item whose priority
+  // became the eviction bound even though it is outside the strict
+  // threshold sample (see docs/WIRE_FORMAT.md).
+
+  /// Appends the wire frame. Canonicalizes nothing: entries are written
+  /// as stored; Deserialize re-runs expiry at last_time.
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<SlidingWindowSampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<SlidingWindowSampler> Deserialize(
+      std::string_view bytes) {
+    return DeserializeSketch<SlidingWindowSampler>(bytes);
+  }
+
+  /// Zero-copy read-only view over a whole serialized frame (checksum
+  /// included). Parsing validates everything Deserialize validates but
+  /// materializes nothing; the view borrows the frame's storage and must
+  /// not outlive it.
+  class FrameView {
+   public:
+    size_t k() const { return static_cast<size_t>(k_); }
+    double window() const { return window_; }
+    double last_time() const { return last_time_; }
+    size_t current_count() const { return current_count_; }
+    size_t expired_count() const { return expired_count_; }
+
+    /// Entry i in [0, current_count + expired_count): current region
+    /// first, then expired, each in time order.
+    StoredItem entry(size_t i) const;
+
+   private:
+    friend class SlidingWindowSampler;
+    static constexpr size_t kStride = sizeof(uint64_t) + 3 * sizeof(double);
+
+    uint64_t k_ = 0;
+    double window_ = 0.0;
+    double last_time_ = 0.0;
+    size_t current_count_ = 0;
+    size_t expired_count_ = 0;
+    std::string_view entries_;
+  };
+
+  /// Parses a SerializeToString buffer into a FrameView; nullopt on
+  /// exactly the inputs Deserialize rejects. Allocation-free: hostile
+  /// capacity claims cannot reserve memory here.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  /// Threshold-pruned k-way merge straight off the wire: observationally
+  /// identical to deserializing every frame and merging the results with
+  /// Merge() in span order. Returns false -- leaving the sampler
+  /// observably unchanged -- if ANY frame fails validation or carries a
+  /// mismatched window; all frames are vetted before the first one is
+  /// applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
  private:
+  // Store payload: everything about a stored item except its priority,
+  // which lives in the store's priority column.
+  struct WindowItem {
+    uint64_t id = 0;
+    double time = 0.0;
+    double threshold = 1.0;
+  };
+
+  // One input of the shared merge core: a filtered view of a sampler or
+  // frame at the global merge instant `now` (current: time in
+  // (now - w, now]; expired: time in (now - 2w, now - w]).
+  struct WindowSnapshot {
+    std::vector<StoredItem> current;
+    std::vector<StoredItem> expired;
+  };
+
   void ExpireUntil(double now);
+  // Stored item i reassembled from the parallel store columns.
+  StoredItem ItemAt(size_t i) const;
+  // Physically extracts the dead (logically expired) column prefix.
+  // Amortized O(1) per expired item: ExpireUntil only marks the prefix
+  // dead and copies it into expired_; the O(k) extraction runs when the
+  // prefix reaches k, or piggybacks on paths that are O(k) anyway
+  // (queries, evictions, merges, never the reject-heavy arrive path).
+  void CleanupDeadPrefix();
   std::vector<SampleEntry> SampleWithThreshold(double threshold) const;
+  // Improved threshold over the store as-is (no expiry advance).
+  double CurrentMinThreshold() const;
+  // Snapshot of a (possibly lazily expired) sampler at global time `now`.
+  WindowSnapshot SnapshotAt(double now) const;
+  static WindowSnapshot SnapshotOfView(const FrameView& view, double now);
+  // The pairwise merge core shared by Merge, MergeMany, and
+  // MergeManyFrames: folds one input snapshot (already filtered at
+  // `now`) into `this`.
+  void MergeOneSnapshot(WindowSnapshot snap, double now);
 
   size_t k_;
   double window_;
   Xoshiro256 rng_;
-  // Both deques are ordered by arrival time (ascending).
-  std::deque<StoredItem> current_;
+  // Current items C(t): priority column + WindowItem payloads, always in
+  // arrival (== time) order. Capacity eviction is manual (the acceptance
+  // rule needs the evicting threshold first), and the store is sized at
+  // 2k so that its own priority-ordered compaction never fires on the
+  // at most k live + k dead-prefix entries it buffers (see the ctor).
+  SampleStore<WindowItem> current_;
+  // Leading column entries that have logically expired (copied into
+  // expired_) but are not yet physically extracted; every column reader
+  // starts past this index. See CleanupDeadPrefix.
+  size_t dead_prefix_ = 0;
+  // Expired items X(t), ordered by time.
   std::deque<StoredItem> expired_;
+  double last_time_;
+  // Observable mutations not visible in the store's epoch (expired-side
+  // changes, time advancement); see mutation_epoch().
+  uint64_t aux_epoch_ = 0;
 };
+
+static_assert(MergeableSketch<SlidingWindowSampler>);
 
 }  // namespace ats
 

@@ -1,8 +1,14 @@
 #include "ats/samplers/time_decay.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ats/util/check.h"
+
+namespace {
+constexpr uint32_t kDecayMagic = 0x54444b31;  // "TDK1"
+constexpr uint32_t kDecayVersion = 1;
+}  // namespace
 
 namespace ats {
 
@@ -15,6 +21,21 @@ bool TimeDecaySampler::Add(uint64_t key, double weight, double value,
   const double log_key =
       std::log(rng_.NextDoubleOpenZero()) - std::log(weight) - time;
   return sketch_.Offer(log_key, Stored{key, weight, value, time});
+}
+
+size_t TimeDecaySampler::AddBatch(std::span<const TimedItem> items) {
+  batch_log_keys_.resize(items.size());
+  batch_payloads_.resize(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const TimedItem& it = items[i];
+    ATS_CHECK(it.weight > 0.0);
+    // Same draw order as the scalar loop, so the RNG stream (and with it
+    // every acceptance decision) is bit-identical.
+    batch_log_keys_[i] = std::log(rng_.NextDoubleOpenZero()) -
+                         std::log(it.weight) - it.time;
+    batch_payloads_[i] = Stored{it.key, it.weight, it.value, it.time};
+  }
+  return sketch_.OfferBatch(batch_log_keys_, batch_payloads_);
 }
 
 std::vector<TimeDecaySampler::DecayedEntry> TimeDecaySampler::SampleAt(
@@ -43,6 +64,55 @@ double TimeDecaySampler::EstimateDecayedTotal(double now) const {
   double total = 0.0;
   for (const DecayedEntry& d : SampleAt(now)) total += d.ht_value;
   return total;
+}
+
+void TimeDecaySampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kDecayMagic, kDecayVersion);
+  WriteRngState(w, rng_.State());
+  sketch_.SerializeTo(w);  // the nested BottomK frame carries the sample
+}
+
+std::optional<TimeDecaySampler> TimeDecaySampler::Deserialize(
+    ByteReader& r) {
+  if (!ReadSketchHeader(r, kDecayMagic, kDecayVersion)) {
+    return std::nullopt;
+  }
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
+  auto sketch = BottomK<Stored>::Deserialize(r);
+  if (!sketch) return std::nullopt;
+  TimeDecaySampler sampler(sketch->k(), /*seed=*/1);
+  sampler.sketch_ = std::move(*sketch);
+  sampler.rng_.SetState(*rng_state);
+  return sampler;
+}
+
+std::optional<TimeDecaySampler::FrameView> TimeDecaySampler::DeserializeView(
+    std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kDecayMagic, kDecayVersion);
+  if (!r) return std::nullopt;
+  if (!ReadRngState(*r)) return std::nullopt;
+  // The rest of the body is exactly the embedded bottom-k sample region.
+  auto sample = BottomK<Stored>::ViewBody(r->Rest());
+  if (!sample) return std::nullopt;
+  FrameView view;
+  view.sample_ = *sample;
+  return view;
+}
+
+bool TimeDecaySampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Vet every frame before the first one is applied (all-or-nothing).
+  std::vector<BottomK<Stored>::FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view) return false;
+    views.push_back(view->sample_);
+  }
+  if (views.empty()) return true;  // strict no-op, like MergeMany({})
+  sketch_.MergeValidatedViews(views);
+  return true;
 }
 
 }  // namespace ats

@@ -13,7 +13,15 @@ TopKSampler::TopKSampler(size_t k, uint64_t seed, double compaction_slack)
   ATS_CHECK(compaction_slack > 1.0);
 }
 
-void TopKSampler::Add(uint64_t item) {
+void TopKSampler::Add(uint64_t item) { AddOne(item); }
+
+size_t TopKSampler::AddBatch(std::span<const uint64_t> items) {
+  size_t entered = 0;
+  for (const uint64_t item : items) entered += AddOne(item) ? 1 : 0;
+  return entered;
+}
+
+bool TopKSampler::AddOne(uint64_t item) {
   ++total_;
   auto it = table_.find(item);
   if (it != table_.end()) {
@@ -24,14 +32,16 @@ void TopKSampler::Add(uint64_t item) {
     const double c_old = s.Estimate();
     ++s.count;
     s.priority *= c_old / s.Estimate();
-    return;
+    return false;
   }
   const double u = rng_.NextDoubleOpenZero();
   if (u < threshold_) {
     // Enter the sample: estimate 1/T, priority U | U < T ~ Uniform(0, T).
     table_.emplace(item, ItemState{item, u, threshold_, 0});
     if (table_.size() >= compact_at_) Compact();
+    return true;
   }
+  return false;
 }
 
 void TopKSampler::Compact() {

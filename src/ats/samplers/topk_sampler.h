@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,15 @@ class TopKSampler {
 
   // Processes one stream element.
   void Add(uint64_t item);
+
+  // Processes a batch of stream elements: exactly equivalent to calling
+  // Add() on each element in order (same table, same RNG stream, same
+  // compaction points). The batched entry point hoists the per-call
+  // overhead out of ingest loops; the table lookup dominates, so unlike
+  // the store-backed samplers there is no priority column to pre-filter
+  // -- entry priorities are drawn only for unseen items, after the
+  // lookup. Returns the number of elements that entered as new entries.
+  size_t AddBatch(std::span<const uint64_t> items);
 
   // The current adaptive threshold T(t).
   double Threshold() const { return threshold_; }
@@ -81,6 +91,10 @@ class TopKSampler {
   int64_t total_count() const { return total_; }
 
  private:
+  // One stream element: the shared body of Add and AddBatch. Returns
+  // true iff the element entered the table as a new entry.
+  bool AddOne(uint64_t item);
+
   size_t k_;
   double compaction_slack_;
   Xoshiro256 rng_;

@@ -17,6 +17,7 @@
 #ifndef ATS_UTIL_SERIALIZE_H_
 #define ATS_UTIL_SERIALIZE_H_
 
+#include <array>
 #include <concepts>
 #include <cstdint>
 #include <cstring>
@@ -96,6 +97,33 @@ inline std::optional<uint32_t> ReadSketchHeader(ByteReader& r,
   const auto v = r.ReadU32();
   if (!v || *v == 0 || *v > max_version) return std::nullopt;
   return v;
+}
+
+// --- PRNG state fields ------------------------------------------------
+
+// Samplers whose priority stream must continue deterministically after a
+// round trip (PrioritySampler, TimeDecaySampler, SlidingWindowSampler)
+// carry their 4x64-bit Xoshiro256 state on the wire. One writer/reader
+// pair keeps the field layout and the validation in a single place.
+inline void WriteRngState(ByteWriter& w,
+                          const std::array<uint64_t, 4>& state) {
+  for (uint64_t word : state) w.WriteU64(word);
+}
+
+// Reads the 4-word state; nullopt on truncation or the all-zero state
+// (Xoshiro256's invalid fixed point -- the stream degenerates to constant
+// zeros, so no genuine serializer emits it).
+inline std::optional<std::array<uint64_t, 4>> ReadRngState(ByteReader& r) {
+  std::array<uint64_t, 4> state;
+  uint64_t state_or = 0;
+  for (uint64_t& word : state) {
+    const auto v = r.ReadU64();
+    if (!v) return std::nullopt;
+    word = *v;
+    state_or |= word;
+  }
+  if (state_or == 0) return std::nullopt;
+  return state;
 }
 
 // --- The common mergeable-sketch interface ----------------------------

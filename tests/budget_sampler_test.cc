@@ -1,7 +1,9 @@
 // Tests for ats/samplers/budget_sampler.h (Section 3.1).
 #include "ats/samplers/budget_sampler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -158,6 +160,60 @@ TEST(BudgetSampler, UtilizationBeatsConservativeBottomK) {
       static_cast<size_t>(budget / gen.max_size());
   EXPECT_GT(sampler.size(), 3 * conservative_k);
   EXPECT_LT(sampler.size(), 6 * conservative_k);
+}
+
+
+TEST(BudgetSampler, AddBatchMatchesScalarLoopExactly) {
+  // The block-prefiltered batch path must be indistinguishable from the
+  // scalar loop: same retained set, same threshold, same used budget,
+  // same RNG stream afterwards. Oversized items (which draw no priority)
+  // are interleaved to keep the draw sequences aligned.
+  Xoshiro256 data(3);
+  std::vector<BudgetSampler::BatchItem> items;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    BudgetSampler::BatchItem it;
+    it.key = i;
+    it.size = i % 53 == 0 ? 300.0 : 1.0 + 9.0 * data.NextDouble();
+    it.value = data.NextDouble();
+    it.weight = 0.5 + data.NextDouble();
+    items.push_back(it);
+  }
+  BudgetSampler scalar(200.0, 77), batched(200.0, 77);
+  size_t scalar_accepted = 0;
+  for (const auto& it : items) {
+    scalar_accepted +=
+        scalar.Add(it.key, it.size, it.value, it.weight) ? 1 : 0;
+  }
+  size_t batch_accepted =
+      batched.AddBatch(std::span(items).subspan(0, 999));
+  batch_accepted += batched.AddBatch(std::span(items).subspan(999));
+
+  EXPECT_EQ(batch_accepted, scalar_accepted);
+  EXPECT_EQ(batched.size(), scalar.size());
+  EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
+  EXPECT_DOUBLE_EQ(batched.UsedBudget(), scalar.UsedBudget());
+  auto sorted_sample = [](const BudgetSampler& s) {
+    auto sample = s.Sample();
+    std::sort(sample.begin(), sample.end(),
+              [](const SampleEntry& a, const SampleEntry& b) {
+                return a.key < b.key;
+              });
+    return sample;
+  };
+  const auto ss = sorted_sample(scalar);
+  const auto bs = sorted_sample(batched);
+  ASSERT_EQ(ss.size(), bs.size());
+  for (size_t i = 0; i < ss.size(); ++i) {
+    EXPECT_EQ(bs[i].key, ss[i].key);
+    EXPECT_DOUBLE_EQ(bs[i].priority, ss[i].priority);
+    EXPECT_DOUBLE_EQ(bs[i].value, ss[i].value);
+  }
+  // RNG lockstep: continued scalar ingest stays identical.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(batched.Add(9000 + i, 2.0, 1.0),
+              scalar.Add(9000 + i, 2.0, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -149,6 +151,51 @@ TEST(TopKSampler, EntriesExposeInvariants) {
     EXPECT_GE(e.count, 0);
     EXPECT_GE(e.Estimate(), 1.0);
   }
+}
+
+
+TEST(TopKSampler, AddBatchMatchesScalarLoopExactly) {
+  // The batched entry point must be indistinguishable from the scalar
+  // loop: same table (entries, priorities, thresholds, counts), same
+  // adaptive threshold, same RNG stream afterwards.
+  ZipfGenerator zipf(5000, 1.1, 9);
+  std::vector<uint64_t> stream;
+  for (int i = 0; i < 60000; ++i) stream.push_back(zipf.Next());
+
+  TopKSampler scalar(20, 4), batched(20, 4);
+  for (uint64_t item : stream) scalar.Add(item);
+  // Uneven batch splits exercise compactions landing mid-batch.
+  batched.AddBatch(std::span(stream).subspan(0, 17));
+  batched.AddBatch(std::span(stream).subspan(17, 40001));
+  batched.AddBatch(std::span(stream).subspan(40018));
+
+  EXPECT_EQ(batched.size(), scalar.size());
+  EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
+  EXPECT_EQ(batched.total_count(), scalar.total_count());
+  auto sorted_entries = [](const TopKSampler& s) {
+    auto entries = s.Entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const TopKSampler::ItemState& a,
+                 const TopKSampler::ItemState& b) { return a.item < b.item; });
+    return entries;
+  };
+  const auto se = sorted_entries(scalar);
+  const auto be = sorted_entries(batched);
+  ASSERT_EQ(se.size(), be.size());
+  for (size_t i = 0; i < se.size(); ++i) {
+    EXPECT_EQ(be[i].item, se[i].item);
+    EXPECT_DOUBLE_EQ(be[i].priority, se[i].priority);
+    EXPECT_DOUBLE_EQ(be[i].threshold, se[i].threshold);
+    EXPECT_EQ(be[i].count, se[i].count);
+  }
+  // RNG streams stayed in lockstep: continued scalar ingest agrees.
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t item = 100000 + static_cast<uint64_t>(i % 97);
+    scalar.Add(item);
+    batched.Add(item);
+  }
+  EXPECT_DOUBLE_EQ(batched.Threshold(), scalar.Threshold());
+  EXPECT_EQ(batched.TopK(), scalar.TopK());
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve.
+
+Scans every *.md file in the repository for inline links/images
+(``[text](target)``) and verifies that relative targets exist on disk.
+For targets inside another markdown file, ``#anchor`` fragments are
+checked against the GitHub-style slugs of that file's headings.
+
+External links (http/https/mailto) are ignored -- this is a hygiene
+check for the repo's own documentation tier, not a crawler. Exits
+non-zero with one line per broken link.
+
+Usage: tools/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "build", "build-release", "third_party", ".claude"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: str) -> set:
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    return {github_slug(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(md_path: str, root: str) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    # Fenced code blocks routinely contain example link-like syntax.
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    for target in LINK_RE.findall(content):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # same-file anchor
+            resolved = md_path
+        else:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), target))
+        rel = os.path.relpath(md_path, root)
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{rel}: missing anchor -> {target or '.'}#{fragment}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                checked += 1
+                errors.extend(check_file(os.path.join(dirpath, name), root))
+    for err in errors:
+        print(err)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
