@@ -2,24 +2,32 @@
 """Benchmark regression checker.
 
 Diffs a freshly produced google-benchmark JSON (bench/run_bench.sh
-output) against a committed baseline and fails when any benchmark's
-throughput regresses by more than the tolerance (default 15%).
+output: the throughput / sharded / merge / window / concurrent suites)
+against a committed baseline and fails when any benchmark's throughput
+regresses by more than the tolerance (default 15%).
 
 Benchmarks are matched by name. Throughput is `items_per_second` when
 the benchmark reports it, otherwise the inverse of `cpu_time` (so pure
 latency benchmarks still compare meaningfully). Benchmarks that exist
 only in one file are reported but never fatal -- adding or retiring a
-benchmark must not break CI.
+benchmark must not break CI. With --missing-baseline-ok, a baseline
+FILE that does not exist is a clean skip (exit 0) rather than an input
+error: a suite added in the head revision (e.g. BENCH_concurrent.json
+when the base predates the concurrent tier) has no baseline yet, and CI
+compares every suite the head produces without special-casing new ones.
 
 Usage:
-  bench/compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.15]
+  bench/compare_bench.py BASELINE.json CURRENT.json \
+      [--max-regression 0.15] [--missing-baseline-ok]
 
-Exit status: 0 when no benchmark regresses past the threshold, 1
-otherwise, 2 on malformed input.
+Exit status: 0 when no benchmark regresses past the threshold (or the
+baseline is missing and --missing-baseline-ok is set), 1 otherwise, 2
+on malformed input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -54,7 +62,20 @@ def main():
         default=0.15,
         help="fatal fractional throughput drop (default 0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--missing-baseline-ok",
+        action="store_true",
+        help="treat a nonexistent baseline file as a clean skip "
+        "(new suite without a baseline yet) instead of an input error",
+    )
     args = parser.parse_args()
+
+    if args.missing_baseline_ok and not os.path.exists(args.baseline):
+        print(
+            f"no baseline at {args.baseline} (new suite); "
+            "skipping comparison"
+        )
+        return 0
 
     base = load_throughputs(args.baseline)
     cur = load_throughputs(args.current)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the google-benchmark binaries in a DEDICATED Release tree and
 # writes machine-readable JSON results (BENCH_throughput.json,
-# BENCH_sharded.json, BENCH_merge.json, BENCH_window.json) into the repo
-# root, so successive PRs can track the perf trajectory.
+# BENCH_sharded.json, BENCH_merge.json, BENCH_window.json,
+# BENCH_concurrent.json) into the repo root, so successive PRs can track
+# the perf trajectory.
 #
 # The build directory defaults to build-release/ (NOT the dev build/):
 # reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
@@ -31,7 +32,8 @@ then
   exit 1
 fi
 cmake --build "$BUILD_DIR" -j \
-      --target bench_throughput bench_sharded bench_merge bench_window
+      --target bench_throughput bench_sharded bench_merge bench_window \
+               bench_concurrent
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -45,11 +47,15 @@ cmake --build "$BUILD_DIR" -j \
 "$BUILD_DIR/bench/bench_window" \
     --json="$REPO_ROOT/BENCH_window.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_concurrent" \
+    --json="$REPO_ROOT/BENCH_concurrent.json" \
+    --benchmark_min_time=0.1
 
 for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_sharded.json" \
            "$REPO_ROOT/BENCH_merge.json" \
-           "$REPO_ROOT/BENCH_window.json"
+           "$REPO_ROOT/BENCH_window.json" \
+           "$REPO_ROOT/BENCH_concurrent.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
@@ -68,5 +74,5 @@ do
 done
 
 echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
-     "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json" \
-     "and $REPO_ROOT/BENCH_window.json"
+     "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json," \
+     "$REPO_ROOT/BENCH_window.json and $REPO_ROOT/BENCH_concurrent.json"

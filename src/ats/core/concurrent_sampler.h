@@ -1,0 +1,619 @@
+// Concurrent ingestion tier: internally thread-safe streaming front-ends
+// with epoch-snapshot queries.
+//
+// Everything below tier 4 treats thread-parallelism as the caller's
+// problem: ShardedSampler::AddShardBatch is only safe when callers
+// hand-partition shards across their own threads, and every query API
+// must be quiesced against ingest. ConcurrentSampler<Scenario> closes
+// that gap. It owns S shards -- each an ordinary full-capacity sampler
+// over a disjoint hash partition of the key space -- behind
+// thread-striped shard locks (one stripe per shard), so any number of
+// writer threads may ingest through the routing entry points
+// concurrently, and it serves readers CONSISTENT merged snapshots
+// through an atomic epoch protocol layered on the mutation-epoch merge
+// cache the sequential front-ends already use (epoch_cache.h).
+//
+// Writer protocol. An ingest call partitions its batch into per-shard
+// runs, then takes each touched shard's lock, feeds the run through the
+// shard's batched ingest path (the fused hash->priority->pre-filter
+// pipeline of sample_store.h), reads the shard's mutation epoch under
+// the lock, and release-publishes it into a per-shard atomic slot
+// (PublishedEpochs). Distinct shards never contend; two writers hitting
+// the same shard serialize only for that run.
+//
+// Reader protocol. A query loads the current snapshot (an immutable,
+// shared merged sampler plus the per-shard epoch vector it was built
+// at) and validates it against the published atomic epochs WITHOUT
+// touching any lock: on a clean cache, reads never block writers and
+// writers never block reads. When some epoch moved, ONE reader rebuilds
+// (a rebuild mutex serializes readers only): it copies each shard's
+// state under that shard's lock -- a writer waits at most the O(k) copy
+// of its own shard, never the merge -- then runs the threshold-pruned
+// k-way merge over the copies lock-free, canonicalizes the result so
+// every subsequent accessor is a pure read, and atomically publishes
+// the new snapshot.
+//
+// Snapshot semantics. Because the per-shard streams are disjoint key
+// partitions, any combination of per-shard prefixes IS a valid prefix
+// of some interleaving of the writers' streams, so every snapshot is a
+// valid merged sample of a stream the system actually ingested --
+// "epoch consistency". With coordinated priorities the snapshot taken
+// after writers quiesce is EXACTLY the single-store sample of the
+// concatenated stream (same argument as sharded_sampler.h), which is
+// what the concurrent-equivalence differential tests pin down.
+//
+// Scenarios. The template is instantiated for every sampling scenario
+// in the library through small trait structs (routing key, per-shard
+// ingest, epoch accessor, k-way merge); the concrete front-ends below
+// -- ConcurrentPrioritySampler (bottom-k / weighted priority sampling),
+// ConcurrentKmvSketch (KMV/Theta distinct counting),
+// ConcurrentWindowSampler, ConcurrentDecaySampler -- wrap the existing
+// ShardedSampler / ShardedWindowSampler / ShardedDecaySampler shard
+// layouts (same routing salts, same per-shard seeds, same merge), so
+// the concurrent and sequential front-ends are bit-equivalent over the
+// same per-shard streams.
+#ifndef ATS_CORE_CONCURRENT_SAMPLER_H_
+#define ATS_CORE_CONCURRENT_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ats/core/epoch_cache.h"
+#include "ats/core/random.h"
+#include "ats/core/shard_routing.h"
+#include "ats/core/sharded_sampler.h"
+#include "ats/samplers/sliding_window.h"
+#include "ats/samplers/time_decay.h"
+#include "ats/sketch/kmv.h"
+#include "ats/util/check.h"
+
+namespace ats {
+
+/// Generic internally thread-safe sharded front-end. `Scenario` is a
+/// trait struct binding the template to one sampling scheme:
+///
+///   struct Scenario {
+///     using Shard = ...;    // per-shard sampler (copyable)
+///     using Item = ...;     // one ingest record
+///     using Merged = ...;   // merged snapshot type
+///     struct Config {...};  // construction parameters (k, seed, ...)
+///     static constexpr uint64_t kRouteSalt;           // shard routing
+///     static Shard MakeShard(const Config&, size_t shard);
+///     static uint64_t RouteKey(const Item&);
+///     static size_t Ingest(Shard&, std::span<const Item>);
+///     static uint64_t Epoch(const Shard&);  // O(1), non-canonicalizing
+///     static Merged MergeShards(const Config&,
+///                               std::span<const Shard* const>);
+///     static size_t Retained(const Shard&);  // optional
+///   };
+///
+/// Thread-safety contract (every public method unless noted): safe to
+/// call from any number of threads concurrently with any other method.
+template <typename Scenario>
+class ConcurrentSampler {
+ public:
+  using Config = typename Scenario::Config;
+  using Item = typename Scenario::Item;
+  using Shard = typename Scenario::Shard;
+  using Merged = typename Scenario::Merged;
+
+  /// Builds `num_shards` independent shard samplers from `config`.
+  /// Construction itself is single-threaded (the object may be shared
+  /// across threads once the constructor returns).
+  ConcurrentSampler(size_t num_shards, const Config& config)
+      : config_(config), published_(num_shards) {
+    ATS_CHECK(num_shards >= 1);
+    shards_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(
+          std::make_unique<ShardSlot>(Scenario::MakeShard(config, s)));
+      published_.Publish(s, Scenario::Epoch(shards_.back()->sampler));
+    }
+  }
+
+  /// Shard index for a routing key. Pure function of immutable state --
+  /// safe from any thread, never blocks.
+  size_t ShardOf(uint64_t key) const {
+    return static_cast<size_t>(HashKey(key, Scenario::kRouteSalt) %
+                               shards_.size());
+  }
+
+  /// Routes one item to its shard and ingests it under that shard's
+  /// lock. Returns the number of accepted items (0 or 1).
+  size_t Add(const Item& item) {
+    return AddShardBatch(ShardOf(Scenario::RouteKey(item)),
+                         std::span<const Item>(&item, 1));
+  }
+
+  /// Routed batched ingest: partitions the batch into per-shard runs
+  /// (order-preserving), then ingests each run under its shard's lock.
+  /// Writers touching disjoint shards proceed in parallel; two writers
+  /// hitting the same shard serialize per run. Returns the number of
+  /// accepted items.
+  size_t AddBatch(std::span<const Item> items) {
+    if (shards_.size() == 1) return AddShardBatch(0, items);
+    std::vector<std::vector<Item>> runs(shards_.size());
+    const size_t expect = items.size() / shards_.size() + 16;
+    for (auto& run : runs) run.reserve(expect);
+    for (const Item& item : items) {
+      runs[ShardOf(Scenario::RouteKey(item))].push_back(item);
+    }
+    size_t accepted = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!runs[s].empty()) accepted += AddShardBatch(s, runs[s]);
+    }
+    return accepted;
+  }
+
+  /// Feeds a pre-partitioned run straight into one shard under its lock
+  /// (the per-thread shard-ownership entry point: S writer threads that
+  /// partition upstream never contend at all). Every item must route to
+  /// `shard` (checked in debug builds). Returns the accepted count.
+  size_t AddShardBatch(size_t shard, std::span<const Item> items) {
+    ATS_CHECK(shard < shards_.size());
+#ifndef NDEBUG
+    for (const Item& item : items) {
+      ATS_DCHECK(ShardOf(Scenario::RouteKey(item)) == shard);
+    }
+#endif
+    ShardSlot& slot = *shards_[shard];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    const size_t accepted = Scenario::Ingest(slot.sampler, items);
+    published_.Publish(shard, Scenario::Epoch(slot.sampler));
+    return accepted;
+  }
+
+  /// The merged snapshot. Clean cache (no shard's published epoch moved
+  /// since the cached snapshot was built): a lock-free shared_ptr load
+  /// plus S atomic epoch compares -- never blocks writers. Dirty cache:
+  /// one reader rebuilds (copy each shard under its lock, merge the
+  /// copies lock-free, publish) while other readers wait on the rebuild
+  /// mutex only. The returned snapshot is immutable and canonicalized:
+  /// every const accessor on it is a pure read, so any number of
+  /// threads may query one snapshot concurrently. It stays valid (and
+  /// internally consistent) for as long as the pointer is held, no
+  /// matter how much ingest happens after.
+  std::shared_ptr<const Merged> Snapshot() const {
+    auto state = snapshot_.load(std::memory_order_acquire);
+    if (state == nullptr || !published_.Matches(state->epochs)) {
+      state = RebuildSnapshot();
+    }
+    // Aliasing pointer: shares ownership of the whole snapshot state,
+    // points at the merged sampler inside it.
+    return std::shared_ptr<const Merged>(state, &state->merged);
+  }
+
+  /// Total items currently retained across shards (>= the merged sample
+  /// size; the merge re-caps at k). Takes each shard's lock in turn, so
+  /// the total is a sum of per-shard instants, not one global instant.
+  size_t TotalRetained() const
+    requires requires(const Shard& s) { Scenario::Retained(s); }
+  {
+    size_t total = 0;
+    for (const auto& slot : shards_) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      total += Scenario::Retained(slot->sampler);
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  /// One shard behind its stripe lock. Heap-allocated (stable address,
+  /// std::mutex is immovable) and cache-line aligned so two shards'
+  /// lock words never share a line.
+  struct alignas(64) ShardSlot {
+    explicit ShardSlot(Shard s) : sampler(std::move(s)) {}
+    mutable std::mutex mu;
+    Shard sampler;
+  };
+
+  /// An immutable published snapshot: the merged sampler plus the
+  /// per-shard epoch vector it was built at (the validation token).
+  struct SnapshotState {
+    Merged merged;
+    std::vector<uint64_t> epochs;
+  };
+
+  std::shared_ptr<const SnapshotState> RebuildSnapshot() const {
+    std::lock_guard<std::mutex> rebuild(rebuild_mu_);
+    // Double-check under the rebuild lock: another reader may have
+    // published a fresh snapshot while this one waited.
+    auto state = snapshot_.load(std::memory_order_acquire);
+    if (state != nullptr && published_.Matches(state->epochs)) return state;
+    // Copy each shard under its own lock -- a writer is blocked at most
+    // for the O(k) copy of its shard, never for the merge -- recording
+    // the epoch the copy is consistent with.
+    std::vector<Shard> copies;
+    copies.reserve(shards_.size());
+    std::vector<uint64_t> epochs;
+    epochs.reserve(shards_.size());
+    for (const auto& slot : shards_) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      epochs.push_back(Scenario::Epoch(slot->sampler));
+      copies.push_back(slot->sampler);
+    }
+    // Merge the copies lock-free (the threshold-pruned k-way engine via
+    // the scenario), then publish.
+    std::vector<const Shard*> inputs;
+    inputs.reserve(copies.size());
+    for (const Shard& copy : copies) inputs.push_back(&copy);
+    auto next = std::make_shared<const SnapshotState>(
+        SnapshotState{Scenario::MergeShards(config_, inputs),
+                      std::move(epochs)});
+    snapshot_.store(next, std::memory_order_release);
+    return next;
+  }
+
+  Config config_;
+  std::vector<std::unique_ptr<ShardSlot>> shards_;
+  /// Per-shard atomic epochs (the lock-free cache validation); see
+  /// epoch_cache.h.
+  PublishedEpochs published_;
+  /// Serializes snapshot rebuilds (readers only; writers never take it).
+  mutable std::mutex rebuild_mu_;
+  mutable std::atomic<std::shared_ptr<const SnapshotState>> snapshot_{
+      nullptr};
+};
+
+namespace internal {
+
+/// Scenario: weighted bottom-k priority sampling (the ShardedSampler
+/// shard layout -- same per-shard seeds, same merge).
+struct PriorityScenario {
+  struct Config {
+    size_t k;
+    bool coordinated;
+    uint64_t seed;
+  };
+  using Shard = PrioritySampler;
+  using Item = PrioritySampler::Item;
+  using Merged = BottomK<Item>;
+  static constexpr uint64_t kRouteSalt = kShardRouteSalt;
+  static Shard MakeShard(const Config& config, size_t shard) {
+    return PrioritySampler(config.k,
+                           config.seed + kShardSeedStride * shard,
+                           config.coordinated);
+  }
+  static uint64_t RouteKey(const Item& item) { return item.key; }
+  static size_t Ingest(Shard& shard, std::span<const Item> items) {
+    return shard.AddBatch(items);
+  }
+  static uint64_t Epoch(const Shard& shard) {
+    return shard.sketch().store().mutation_epoch();
+  }
+  static size_t Retained(const Shard& shard) { return shard.size(); }
+  static Merged MergeShards(const Config& config,
+                            std::span<const Shard* const> shards);
+};
+
+/// Scenario: KMV/Theta distinct counting. Every shard hashes with the
+/// SAME salt (coordinated by construction), so the merged union is
+/// exactly the single-sketch union.
+struct KmvScenario {
+  struct Config {
+    size_t k;
+    uint64_t hash_salt;
+  };
+  using Shard = KmvSketch;
+  using Item = uint64_t;
+  using Merged = KmvSketch;
+  static constexpr uint64_t kRouteSalt = kShardRouteSalt;
+  static Shard MakeShard(const Config& config, size_t /*shard*/) {
+    return KmvSketch(config.k, /*initial_threshold=*/1.0,
+                     config.hash_salt);
+  }
+  static uint64_t RouteKey(uint64_t key) { return key; }
+  static size_t Ingest(Shard& shard, std::span<const uint64_t> keys) {
+    return shard.AddKeys(keys);
+  }
+  static uint64_t Epoch(const Shard& shard) {
+    return shard.store().mutation_epoch();
+  }
+  static size_t Retained(const Shard& shard) { return shard.size(); }
+  static Merged MergeShards(const Config& config,
+                            std::span<const Shard* const> shards);
+};
+
+/// Scenario: sliding-window sampling (the ShardedWindowSampler shard
+/// layout). Per shard, arrival times must be non-decreasing: ONE
+/// routing writer keeps that automatically; several routed writers
+/// interleave whole runs per shard, so concurrent windowed writers
+/// must own disjoint shards (AddShardBatch) or coordinate time ranges
+/// themselves (see ConcurrentWindowSampler).
+struct WindowScenario {
+  struct Config {
+    size_t k;
+    double window;
+    uint64_t seed;
+  };
+  struct Arrival {
+    double time;
+    uint64_t id;
+  };
+  using Shard = SlidingWindowSampler;
+  using Item = Arrival;
+  using Merged = SlidingWindowSampler;
+  static constexpr uint64_t kRouteSalt = kTimeAxisRouteSalt;
+  static Shard MakeShard(const Config& config, size_t shard) {
+    return SlidingWindowSampler(config.k, config.window,
+                                config.seed + kShardSeedStride * shard);
+  }
+  static uint64_t RouteKey(const Arrival& arrival) { return arrival.id; }
+  static size_t Ingest(Shard& shard, std::span<const Arrival> items) {
+    size_t stored = 0;
+    for (const Arrival& a : items) {
+      stored += shard.Arrive(a.time, a.id) ? 1 : 0;
+    }
+    return stored;
+  }
+  static uint64_t Epoch(const Shard& shard) {
+    return shard.mutation_epoch();
+  }
+  static Merged MergeShards(const Config& config,
+                            std::span<const Shard* const> shards);
+};
+
+/// Scenario: time-decayed sampling (the ShardedDecaySampler shard
+/// layout).
+struct DecayScenario {
+  struct Config {
+    size_t k;
+    uint64_t seed;
+  };
+  using Shard = TimeDecaySampler;
+  using Item = TimeDecaySampler::TimedItem;
+  using Merged = TimeDecaySampler;
+  static constexpr uint64_t kRouteSalt = kTimeAxisRouteSalt;
+  static Shard MakeShard(const Config& config, size_t shard) {
+    return TimeDecaySampler(config.k,
+                            config.seed + kShardSeedStride * shard);
+  }
+  static uint64_t RouteKey(const Item& item) { return item.key; }
+  static size_t Ingest(Shard& shard, std::span<const Item> items) {
+    return shard.AddBatch(items);
+  }
+  static uint64_t Epoch(const Shard& shard) {
+    return shard.mutation_epoch();
+  }
+  static size_t Retained(const Shard& shard) { return shard.size(); }
+  static Merged MergeShards(const Config& config,
+                            std::span<const Shard* const> shards);
+};
+
+}  // namespace internal
+
+// Instantiated once in concurrent_sampler.cc; the concrete front-ends
+// below are the intended entry points.
+extern template class ConcurrentSampler<internal::PriorityScenario>;
+extern template class ConcurrentSampler<internal::KmvScenario>;
+extern template class ConcurrentSampler<internal::WindowScenario>;
+extern template class ConcurrentSampler<internal::DecayScenario>;
+
+/// Internally thread-safe weighted bottom-k (priority sampling)
+/// front-end: the concurrent counterpart of ShardedSampler, with the
+/// identical shard layout. With coordinated priorities (the default)
+/// the merged snapshot after writers quiesce is EXACTLY the
+/// single-store sample of the concatenated stream.
+class ConcurrentPrioritySampler {
+ public:
+  using Item = PrioritySampler::Item;
+  using MergedSample = ShardedSampler::MergedSample;
+
+  /// num_shards: lock stripes / independent shard samplers. k: sample
+  /// capacity of every shard and of the merged sample. `coordinated`
+  /// selects hash-derived priorities (required for exact single-store
+  /// equivalence); `seed` drives per-shard RNGs in independent mode.
+  ConcurrentPrioritySampler(size_t num_shards, size_t k,
+                            bool coordinated = true, uint64_t seed = 1);
+
+  /// Shard index for a key. Thread-safe, never blocks.
+  size_t ShardOf(uint64_t key) const;
+
+  /// Ingests one weighted item under its shard's lock. Thread-safe
+  /// against all other methods.
+  void Add(uint64_t key, double weight);
+
+  /// Routed batched ingest (see ConcurrentSampler::AddBatch).
+  /// Thread-safe against all other methods; returns the accepted count.
+  size_t AddBatch(std::span<const Item> items);
+
+  /// Pre-partitioned single-shard ingest: the zero-contention entry
+  /// point for writers that partition upstream. Thread-safe; every item
+  /// must route to `shard` (checked in debug builds).
+  size_t AddShardBatch(size_t shard, std::span<const Item> items);
+
+  /// Merged sample + threshold from one epoch-consistent snapshot.
+  /// Thread-safe; clean-cache calls never block writers.
+  MergedSample Merged() const;
+
+  /// Merged sample entries only (one snapshot). Thread-safe.
+  std::vector<SampleEntry> Sample() const;
+
+  /// Merged adaptive threshold only (one snapshot). Thread-safe.
+  double MergedThreshold() const;
+
+  /// The epoch-consistent merged bottom-k snapshot itself; immutable
+  /// and safely shareable across reader threads. Thread-safe.
+  std::shared_ptr<const BottomK<Item>> Snapshot() const;
+
+  /// Items retained across shards (per-shard instants). Thread-safe.
+  size_t TotalRetained() const;
+
+  size_t num_shards() const { return core_.num_shards(); }
+  size_t k() const { return core_.config().k; }
+
+ private:
+  ConcurrentSampler<internal::PriorityScenario> core_;
+};
+
+/// Internally thread-safe KMV distinct-counting front-end (and, through
+/// KMV's theta duality, the concurrent entry point for Theta-style
+/// distinct unions): shards share one hash salt, so the merged snapshot
+/// is exactly the single-sketch union of the concatenated key stream.
+class ConcurrentKmvSketch {
+ public:
+  ConcurrentKmvSketch(size_t num_shards, size_t k, uint64_t hash_salt = 0);
+
+  /// Shard index for a key. Thread-safe, never blocks.
+  size_t ShardOf(uint64_t key) const;
+
+  /// Ingests one key under its shard's lock. Thread-safe.
+  void AddKey(uint64_t key);
+
+  /// Routed batched ingest through each shard's fused hash pipeline.
+  /// Thread-safe; returns the number of accepted priorities.
+  size_t AddKeys(std::span<const uint64_t> keys);
+
+  /// Pre-partitioned single-shard ingest. Thread-safe.
+  size_t AddShardKeys(size_t shard, std::span<const uint64_t> keys);
+
+  /// Unbiased distinct-count estimate from one snapshot. Thread-safe.
+  double Estimate() const;
+
+  /// Merged threshold theta from one snapshot. Thread-safe.
+  double Threshold() const;
+
+  /// Retained distinct priorities in the merged snapshot. Thread-safe.
+  size_t MergedSize() const;
+
+  /// The epoch-consistent merged sketch; immutable, shareable across
+  /// readers. Thread-safe.
+  std::shared_ptr<const KmvSketch> Snapshot() const;
+
+  /// Retained priorities across shards (>= MergedSize). Thread-safe.
+  size_t TotalRetained() const;
+
+  size_t num_shards() const { return core_.num_shards(); }
+  size_t k() const { return core_.config().k; }
+
+ private:
+  ConcurrentSampler<internal::KmvScenario> core_;
+};
+
+/// Internally thread-safe sliding-window front-end: the concurrent
+/// counterpart of ShardedWindowSampler (identical shard layout, seeds,
+/// and merge). Arrival times must be non-decreasing PER SHARD. Every
+/// entry point is lock-safe from any thread, but only two ingest
+/// patterns preserve that time invariant: a SINGLE thread driving the
+/// routed Arrive/AddBatch, or several writers owning DISJOINT shards
+/// via AddShardBatch (each feeding its shards in time order -- the
+/// pattern the concurrent-equivalence tests use). Two writers pushing
+/// routed batches concurrently interleave whole runs per shard, which
+/// can hand a shard out-of-order times; the shard tolerates the
+/// regression silently (expiry is judged at its max time seen), so the
+/// windowed sample would be quietly biased -- partition upstream
+/// instead. Queries evaluate one epoch-consistent snapshot at `now` on
+/// a private O(k) copy (window queries advance expiry, so the shared
+/// snapshot itself is never mutated); `now` should be >= the times
+/// already ingested, as with the sequential sampler.
+class ConcurrentWindowSampler {
+ public:
+  using Arrival = internal::WindowScenario::Arrival;
+
+  ConcurrentWindowSampler(size_t num_shards, size_t k, double window,
+                          uint64_t seed = 1);
+
+  /// Shard index for an item id. Thread-safe, never blocks.
+  size_t ShardOf(uint64_t id) const;
+
+  /// Ingests one arrival under its shard's lock. Thread-safe; returns
+  /// true iff the item was stored.
+  bool Arrive(double time, uint64_t id);
+
+  /// Routed batched ingest (order-preserving per shard). Thread-safe.
+  size_t AddBatch(std::span<const Arrival> arrivals);
+
+  /// Pre-partitioned single-shard ingest. Thread-safe.
+  size_t AddShardBatch(size_t shard, std::span<const Arrival> arrivals);
+
+  /// Improved final threshold of the merged windowed sample at `now`.
+  /// Thread-safe.
+  double ImprovedThreshold(double now) const;
+
+  /// G&L final threshold of the merged windowed sample at `now`.
+  /// Thread-safe.
+  double GlThreshold(double now) const;
+
+  /// Merged samples under each final threshold at `now`. Thread-safe.
+  std::vector<SampleEntry> ImprovedSample(double now) const;
+  std::vector<SampleEntry> GlSample(double now) const;
+
+  /// Stored items (current + expired) in the merged snapshot at `now`.
+  /// Thread-safe.
+  size_t MergedStoredCount(double now) const;
+
+  /// The epoch-consistent merged window sampler. Immutable: query it by
+  /// copying (queries advance expiry). Thread-safe.
+  std::shared_ptr<const SlidingWindowSampler> Snapshot() const;
+
+  size_t num_shards() const { return core_.num_shards(); }
+  size_t k() const { return core_.config().k; }
+  double window() const { return core_.config().window; }
+
+ private:
+  ConcurrentSampler<internal::WindowScenario> core_;
+};
+
+/// Internally thread-safe time-decay front-end: the concurrent
+/// counterpart of ShardedDecaySampler (identical shard layout, seeds,
+/// and merge). Per shard, item times must be non-decreasing -- the
+/// same ingest-pattern contract as ConcurrentWindowSampler: one routed
+/// writer, or several writers owning disjoint shards in time order.
+/// (The keyed scenarios have no such constraint: any number of routed
+/// writers is always valid for bottom-k and KMV.)
+class ConcurrentDecaySampler {
+ public:
+  using TimedItem = TimeDecaySampler::TimedItem;
+
+  ConcurrentDecaySampler(size_t num_shards, size_t k, uint64_t seed = 1);
+
+  /// Shard index for a key. Thread-safe, never blocks.
+  size_t ShardOf(uint64_t key) const;
+
+  /// Ingests one item under its shard's lock. Thread-safe; returns true
+  /// iff the item was accepted below the shard's acceptance bound.
+  bool Add(uint64_t key, double weight, double value, double time);
+
+  /// Routed batched ingest (order-preserving per shard). Thread-safe.
+  size_t AddBatch(std::span<const TimedItem> items);
+
+  /// Pre-partitioned single-shard ingest. Thread-safe.
+  size_t AddShardBatch(size_t shard, std::span<const TimedItem> items);
+
+  /// Merged adaptive threshold on the log-key scale, from one snapshot.
+  /// Thread-safe.
+  double LogKeyThreshold() const;
+
+  /// Merged decayed sample at `now` (>= every ingested time), from one
+  /// snapshot. Thread-safe.
+  std::vector<TimeDecaySampler::DecayedEntry> SampleAt(double now) const;
+
+  /// HT estimate of the decayed total at `now`, from one snapshot.
+  /// Thread-safe.
+  double EstimateDecayedTotal(double now) const;
+
+  /// The epoch-consistent merged decay sampler; immutable and pure-read
+  /// queryable across threads. Thread-safe.
+  std::shared_ptr<const TimeDecaySampler> Snapshot() const;
+
+  /// Items retained across shards (per-shard instants). Thread-safe.
+  size_t TotalRetained() const;
+
+  size_t num_shards() const { return core_.num_shards(); }
+  size_t k() const { return core_.config().k; }
+
+ private:
+  ConcurrentSampler<internal::DecayScenario> core_;
+};
+
+}  // namespace ats
+
+#endif  // ATS_CORE_CONCURRENT_SAMPLER_H_

@@ -2,27 +2,23 @@
 
 #include "ats/core/epoch_cache.h"
 #include "ats/core/random.h"
+#include "ats/core/shard_routing.h"
 #include "ats/util/check.h"
-
-namespace {
-// Salt for the shard-routing hash. Distinct from the (salt-0) priority
-// hash so the routing decision is independent of the priority value.
-constexpr uint64_t kRouteSalt = 0x5ca1ab1e0ddba11ULL;
-}  // namespace
 
 namespace ats {
 
 ShardedSampler::ShardedSampler(size_t num_shards, size_t k,
                                bool coordinated, uint64_t seed)
     : k_(k),
-      route_salt_(kRouteSalt),
+      route_salt_(internal::kShardRouteSalt),
       batch_scratch_(num_shards),
       merged_epochs_(num_shards, 0) {
   ATS_CHECK(num_shards >= 1);
   ATS_CHECK(k >= 1);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    shards_.emplace_back(k, seed + 0x9e3779b97f4a7c15ULL * s, coordinated);
+    shards_.emplace_back(k, seed + internal::kShardSeedStride * s,
+                         coordinated);
   }
 }
 

@@ -4,14 +4,8 @@
 
 #include "ats/core/epoch_cache.h"
 #include "ats/core/random.h"
+#include "ats/core/shard_routing.h"
 #include "ats/util/check.h"
-
-namespace {
-// Salt for the shard-routing hash; distinct from every priority salt so
-// routing never biases per-shard priorities (same rationale as
-// sharded_sampler.cc).
-constexpr uint64_t kTimeAxisRouteSalt = 0x7e11ca7a11afe77ULL;
-}  // namespace
 
 namespace ats {
 
@@ -21,13 +15,13 @@ ShardedWindowSampler::ShardedWindowSampler(size_t num_shards, size_t k,
                                            double window, uint64_t seed)
     : k_(k),
       window_(window),
-      route_salt_(kTimeAxisRouteSalt),
+      route_salt_(internal::kTimeAxisRouteSalt),
       merged_epochs_(num_shards, 0) {
   ATS_CHECK(num_shards >= 1);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.emplace_back(k, window,
-                         seed + 0x9e3779b97f4a7c15ULL * s);
+                         seed + internal::kShardSeedStride * s);
   }
 }
 
@@ -89,14 +83,14 @@ size_t ShardedWindowSampler::MergedStoredCount(double now) {
 ShardedDecaySampler::ShardedDecaySampler(size_t num_shards, size_t k,
                                          uint64_t seed)
     : k_(k),
-      route_salt_(kTimeAxisRouteSalt),
+      route_salt_(internal::kTimeAxisRouteSalt),
       batch_scratch_(num_shards),
       merged_epochs_(num_shards, 0) {
   ATS_CHECK(num_shards >= 1);
   ATS_CHECK(k >= 1);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    shards_.emplace_back(k, seed + 0x9e3779b97f4a7c15ULL * s);
+    shards_.emplace_back(k, seed + internal::kShardSeedStride * s);
   }
 }
 

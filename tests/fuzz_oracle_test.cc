@@ -2,10 +2,13 @@
 // against brute-force reference implementations and structural
 // invariants. These sweep parts of the state space the targeted unit
 // tests do not reach (interleaved merges, saturation boundaries,
-// adversarial weight sequences).
+// adversarial weight sequences, hostile wire bytes against randomized
+// sampler states across every frame family).
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +16,8 @@
 #include "ats/baselines/varopt.h"
 #include "ats/core/bottom_k.h"
 #include "ats/samplers/multi_stratified.h"
+#include "ats/samplers/sliding_window.h"
+#include "ats/samplers/time_decay.h"
 #include "ats/sketch/kmv.h"
 #include "ats/sketch/lcs_merge.h"
 #include "ats/util/stats.h"
@@ -153,6 +158,113 @@ TEST_P(FuzzSweep, MultiStratifiedInvariantsUnderRandomStreams) {
     ASSERT_LT(e.priority, e.threshold);
     ASSERT_GT(e.InclusionProbability(), 0.0);
   }
+}
+
+// --- Hostile-input parity for the time-axis frames (SWN1 / TDK1) ------
+//
+// The BTK/KMV-era formats get their truncation/bit-flip sweeps in
+// deserialize_view_test.cc over fixed sampler states; here the SAME
+// hostility contract is enforced for the PR-4 time-axis frames over
+// RANDOMIZED sampler states: every strict prefix and every single-bit
+// corruption of a valid frame must fail cleanly through BOTH parse
+// paths (eager Deserialize and zero-copy DeserializeView), and an
+// invalid frame inside a MergeManyFrames fan-in must leave the target
+// sampler observably unchanged.
+
+SlidingWindowSampler RandomWindowSampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const size_t k = 4 + rng.NextBelow(12);
+  SlidingWindowSampler sampler(k, /*window=*/1.0, seed + 99);
+  const int arrivals = 50 + static_cast<int>(rng.NextBelow(300));
+  double time = 0.0;
+  for (int i = 0; i < arrivals; ++i) {
+    time += 0.02 * rng.NextDoubleOpenZero();
+    sampler.Arrive(time, static_cast<uint64_t>(i));
+  }
+  return sampler;
+}
+
+TimeDecaySampler RandomDecaySampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const size_t k = 4 + rng.NextBelow(12);
+  TimeDecaySampler sampler(k, seed + 7);
+  const int items = 50 + static_cast<int>(rng.NextBelow(300));
+  double time = 0.0;
+  for (int i = 0; i < items; ++i) {
+    time += 0.05 * rng.NextDoubleOpenZero();
+    sampler.Add(static_cast<uint64_t>(i),
+                std::exp(0.5 * rng.NextGaussian()), 1.0, time);
+  }
+  return sampler;
+}
+
+// Every strict prefix and every single-bit flip of `frame` must be
+// rejected by both `parse_eager` and `parse_view` (the FNV-1a frame
+// checksum chain is bijective per byte, so ANY one-byte change alters
+// it); the intact frame must parse through both.
+template <typename ParseEager, typename ParseView>
+void ExpectHostileBytesFailCleanly(const std::string& frame,
+                                   ParseEager&& parse_eager,
+                                   ParseView&& parse_view) {
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const std::string_view prefix(frame.data(), len);
+    EXPECT_FALSE(parse_eager(prefix)) << "prefix length " << len;
+    EXPECT_FALSE(parse_view(prefix)) << "prefix length " << len;
+  }
+  for (size_t pos = 0; pos < frame.size(); ++pos) {
+    std::string bad = frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 << (pos % 8)));
+    EXPECT_FALSE(parse_eager(bad)) << "flipped bit in byte " << pos;
+    EXPECT_FALSE(parse_view(bad)) << "flipped bit in byte " << pos;
+  }
+  EXPECT_TRUE(parse_eager(frame));
+  EXPECT_TRUE(parse_view(frame));
+}
+
+TEST_P(FuzzSweep, WindowFrameHostileBytesFailCleanly) {
+  const std::string frame =
+      RandomWindowSampler(GetParam() * 37 + 11).SerializeToString();
+  ExpectHostileBytesFailCleanly(
+      frame,
+      [](std::string_view bytes) {
+        return SlidingWindowSampler::Deserialize(bytes).has_value();
+      },
+      [](std::string_view bytes) {
+        return SlidingWindowSampler::DeserializeView(bytes).has_value();
+      });
+
+  // All-or-nothing aggregation: one corrupt frame in the fan-in leaves
+  // the target byte-identical (serialization canonicalizes expiry at
+  // last_time, so equal bytes == equal observable state).
+  SlidingWindowSampler target = RandomWindowSampler(GetParam() * 41 + 3);
+  const std::string before = target.SerializeToString();
+  std::string corrupt = frame;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x10);
+  const std::vector<std::string_view> frames{frame, corrupt};
+  EXPECT_FALSE(target.MergeManyFrames(frames));
+  EXPECT_EQ(target.SerializeToString(), before);
+}
+
+TEST_P(FuzzSweep, DecayFrameHostileBytesFailCleanly) {
+  const std::string frame =
+      RandomDecaySampler(GetParam() * 53 + 29).SerializeToString();
+  ExpectHostileBytesFailCleanly(
+      frame,
+      [](std::string_view bytes) {
+        return TimeDecaySampler::Deserialize(bytes).has_value();
+      },
+      [](std::string_view bytes) {
+        return TimeDecaySampler::DeserializeView(bytes).has_value();
+      });
+
+  TimeDecaySampler target = RandomDecaySampler(GetParam() * 59 + 17);
+  const std::string before = target.SerializeToString();
+  std::string corrupt = frame;
+  corrupt.resize(corrupt.size() - 1 - GetParam() % 8);  // truncated tail
+  const std::vector<std::string_view> frames{frame, corrupt};
+  EXPECT_FALSE(target.MergeManyFrames(frames));
+  EXPECT_EQ(target.SerializeToString(), before);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/compare_bench.py.
+
+Covers the comparison semantics CI relies on -- regression detection,
+tolerance, benchmarks present in only one file -- and in particular the
+base-missing skip path (--missing-baseline-ok) that lets CI compare
+every BENCH_*.json suite the head produces even when the base revision
+predates a suite (e.g. BENCH_concurrent.json).
+
+Run directly (python3 tools/test_compare_bench.py) or through CTest,
+which registers it when a Python interpreter is found.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "bench",
+    "compare_bench.py")
+
+
+def run_tool(args):
+    return subprocess.run(
+        [sys.executable, TOOL] + args, capture_output=True, text=True)
+
+
+def write_bench_json(path, name_to_items_per_second):
+    doc = {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "items_per_second": v}
+            for name, v in name_to_items_per_second.items()
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.tmp.name, name)
+
+    def test_missing_baseline_skips_cleanly_with_flag(self):
+        current = self.path("current.json")
+        write_bench_json(current, {"BM_ConcurrentIngest/8": 1e6})
+        result = run_tool(
+            [self.path("nonexistent.json"), current, "--missing-baseline-ok"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipping comparison", result.stdout)
+
+    def test_missing_baseline_is_an_error_without_flag(self):
+        current = self.path("current.json")
+        write_bench_json(current, {"BM_X": 1e6})
+        result = run_tool([self.path("nonexistent.json"), current])
+        self.assertEqual(result.returncode, 2)
+
+    def test_regression_past_threshold_fails(self):
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_X": 100.0, "BM_Y": 100.0})
+        write_bench_json(cur, {"BM_X": 80.0, "BM_Y": 100.0})  # -20%
+        result = run_tool([base, cur, "--max-regression", "0.15"])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("BM_X", result.stderr)
+
+    def test_within_tolerance_passes(self):
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_X": 100.0})
+        write_bench_json(cur, {"BM_X": 90.0})  # -10% < 15%
+        result = run_tool([base, cur, "--max-regression", "0.15"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_one_sided_benchmarks_are_never_fatal(self):
+        # A benchmark added in the head (baseline-missing) or retired in
+        # the head (current-missing) must not fail the comparison.
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_Common": 100.0, "BM_Retired": 50.0})
+        write_bench_json(cur, {"BM_Common": 100.0, "BM_New": 50.0})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("baseline-only", result.stdout)
+        self.assertIn("new", result.stdout)
+
+    def test_malformed_input_is_an_input_error(self):
+        base, cur = self.path("base.json"), self.path("cur.json")
+        with open(base, "w", encoding="utf-8") as f:
+            f.write("not json{")
+        write_bench_json(cur, {"BM_X": 1.0})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
