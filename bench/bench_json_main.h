@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "ats/core/simd/simd_dispatch.h"
+
 namespace ats {
 
 inline int RunBenchmarksWithJsonFlag(int argc, char** argv,
@@ -56,6 +58,16 @@ inline int RunBenchmarksWithJsonFlag(int argc, char** argv,
       "library_build_type_note",
       "library_build_type describes the linked google-benchmark library, "
       "not the measured code; ats_build_type is authoritative");
+  // The SIMD dispatch level driving every measured kernel (honors
+  // ATS_SIMD_LEVEL): a perf number is meaningless without it, and the
+  // regression tracker must not compare a forced-scalar run against an
+  // AVX2 baseline without noticing.
+  benchmark::AddCustomContext(
+      "ats_simd_level",
+      simd::SimdLevelName(simd::ActiveSimdLevel()));
+  benchmark::AddCustomContext(
+      "ats_simd_detected",
+      simd::SimdLevelName(simd::DetectedSimdLevel()));
   if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
     return 1;
   }

@@ -21,6 +21,8 @@
 //   * BM_ShardedWindowQuery{Cold,Cached} / BM_ShardedDecayQueryCached --
 //     the mutation-epoch cache: repeat queries between ingest batches
 //     are cache reads.
+#include <algorithm>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +62,108 @@ void BM_WindowArrive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20000);
 }
 BENCHMARK(BM_WindowArrive)->Arg(64)->Arg(512);
+
+// The rate == k operating point: arrivals spaced window/k apart, so the
+// window holds ~k items, the sample never saturates (every arrival is
+// accepted) and nearly every arrival expires exactly one predecessor.
+// This is the dead-prefix reclamation hot path (CleanupDeadPrefix /
+// SampleStore::DropFront) -- the regime where the classic deque-backed
+// G&L design wins on O(1) physical front-pops, which
+// BM_WindowArriveBoundaryDequeRef below reproduces as the baseline the
+// store-backed sampler must stay at parity with.
+void BM_WindowArriveBoundary(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const double dt = 1.0 / static_cast<double>(k);
+  for (auto _ : state) {
+    SlidingWindowSampler sampler(k, 1.0, 42);
+    for (size_t i = 0; i < 20000; ++i) {
+      sampler.Arrive(static_cast<double>(i) * dt, i);
+    }
+    benchmark::DoNotOptimize(
+        sampler.StoredCount(20000.0 * dt));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_WindowArriveBoundary)->Arg(64)->Arg(512);
+
+// Reference implementation of the pre-adaptive-threshold design: the
+// same sampling rule, but items live in a std::deque so window expiry is
+// a physical O(1) pop_front per item. Exists only as the bench baseline
+// for the rate == k boundary.
+class DequeWindowReference {
+ public:
+  struct Item {
+    uint64_t id;
+    double time;
+    double priority;
+    double threshold;
+  };
+
+  DequeWindowReference(size_t k, double window, uint64_t seed)
+      : k_(k), window_(window), rng_(seed) {}
+
+  bool Arrive(double time, uint64_t id) {
+    const double cutoff = time - window_;
+    while (!items_.empty() && items_.front().time <= cutoff) {
+      expired_.push_back(items_.front());
+      items_.pop_front();
+    }
+    const double drop = time - 2.0 * window_;
+    while (!expired_.empty() && expired_.front().time <= drop) {
+      expired_.pop_front();
+    }
+    const double priority = rng_.NextDoubleOpenZero();
+    double threshold = 1.0;
+    if (items_.size() >= k_) {
+      double m1 = 0.0, m2 = 0.0;
+      for (const Item& it : items_) {
+        if (it.priority > m1) {
+          m2 = m1;
+          m1 = it.priority;
+        } else if (it.priority > m2) {
+          m2 = it.priority;
+        }
+      }
+      threshold = priority >= m1 ? m1 : std::max(m2, priority);
+    }
+    if (priority >= threshold) return false;
+    if (items_.size() >= k_) {
+      for (Item& it : items_) {
+        it.threshold = std::min(it.threshold, threshold);
+      }
+      auto evict = items_.begin();
+      for (auto it = items_.begin(); it != items_.end(); ++it) {
+        if (it->priority > evict->priority) evict = it;
+      }
+      items_.erase(evict);
+    }
+    items_.push_back(Item{id, time, priority, threshold});
+    return true;
+  }
+
+  size_t StoredCount() const { return items_.size() + expired_.size(); }
+
+ private:
+  size_t k_;
+  double window_;
+  Xoshiro256 rng_;
+  std::deque<Item> items_;
+  std::deque<Item> expired_;
+};
+
+void BM_WindowArriveBoundaryDequeRef(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const double dt = 1.0 / static_cast<double>(k);
+  for (auto _ : state) {
+    DequeWindowReference sampler(k, 1.0, 42);
+    for (size_t i = 0; i < 20000; ++i) {
+      sampler.Arrive(static_cast<double>(i) * dt, i);
+    }
+    benchmark::DoNotOptimize(sampler.StoredCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_WindowArriveBoundaryDequeRef)->Arg(64)->Arg(512);
 
 void BM_DecayAddScalar(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));

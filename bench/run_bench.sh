@@ -2,8 +2,8 @@
 # Builds the google-benchmark binaries in a DEDICATED Release tree and
 # writes machine-readable JSON results (BENCH_throughput.json,
 # BENCH_sharded.json, BENCH_merge.json, BENCH_window.json,
-# BENCH_concurrent.json) into the repo root, so successive PRs can track
-# the perf trajectory.
+# BENCH_concurrent.json, BENCH_simd.json) into the repo root, so
+# successive PRs can track the perf trajectory.
 #
 # The build directory defaults to build-release/ (NOT the dev build/):
 # reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
@@ -33,7 +33,7 @@ then
 fi
 cmake --build "$BUILD_DIR" -j \
       --target bench_throughput bench_sharded bench_merge bench_window \
-               bench_concurrent
+               bench_concurrent bench_simd
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -50,12 +50,16 @@ cmake --build "$BUILD_DIR" -j \
 "$BUILD_DIR/bench/bench_concurrent" \
     --json="$REPO_ROOT/BENCH_concurrent.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_simd" \
+    --json="$REPO_ROOT/BENCH_simd.json" \
+    --benchmark_min_time=0.1
 
 for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_sharded.json" \
            "$REPO_ROOT/BENCH_merge.json" \
            "$REPO_ROOT/BENCH_window.json" \
-           "$REPO_ROOT/BENCH_concurrent.json"
+           "$REPO_ROOT/BENCH_concurrent.json" \
+           "$REPO_ROOT/BENCH_simd.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
@@ -71,8 +75,17 @@ do
          "(see bench_json_main.h)" >&2
     exit 1
   fi
+  # Every baseline must name the SIMD dispatch level that produced it
+  # (bench_json_main.h): comparing a forced-scalar run against an AVX2
+  # baseline is a silent 2x+ lie otherwise.
+  if ! grep -q '"ats_simd_level"' "$out"; then
+    echo "error: $out lacks the ats_simd_level context entry" \
+         "(see bench_json_main.h)" >&2
+    exit 1
+  fi
 done
 
 echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
      "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json," \
-     "$REPO_ROOT/BENCH_window.json and $REPO_ROOT/BENCH_concurrent.json"
+     "$REPO_ROOT/BENCH_window.json, $REPO_ROOT/BENCH_concurrent.json" \
+     "and $REPO_ROOT/BENCH_simd.json"

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ats/core/simd/fast_log.h"
+#include "ats/core/simd/simd_dispatch.h"
 #include "ats/util/check.h"
 
 namespace ats {
@@ -52,7 +54,17 @@ uint64_t Xoshiro256::NextBelow(uint64_t n) {
 }
 
 double Xoshiro256::NextExponential() {
-  return -std::log(NextDoubleOpenZero());
+  return -simd::FastLog(NextDoubleOpenZero());
+}
+
+void Xoshiro256::FillExponentials(std::span<double> out) {
+  // Draw the uniform column first (scalar: the generator recurrence is
+  // serial), then one dispatched log over the whole span. FastLog is
+  // bit-identical at every dispatch level, so this matches a loop of
+  // NextExponential() exactly.
+  for (double& v : out) v = NextDoubleOpenZero();
+  simd::ActiveKernels().log_span(out.data(), out.data(), out.size());
+  for (double& v : out) v = -v;
 }
 
 double Xoshiro256::NextGaussian() {

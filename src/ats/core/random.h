@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string_view>
 
 namespace ats {
@@ -73,8 +74,16 @@ class Xoshiro256 {
   // Uniform integer in [0, n).
   uint64_t NextBelow(uint64_t n);
 
-  // Standard exponential deviate (rate 1).
+  // Standard exponential deviate (rate 1). Log-free hot path: uses the
+  // FastLog kernel (src/ats/core/simd/fast_log.h, within 2 ulp of libm)
+  // instead of std::log.
   double NextExponential();
+
+  // Fills `out` with standard exponential deviates: bit-identical to
+  // out.size() consecutive NextExponential() calls (same stream
+  // consumption, same values), but draws the uniform column first and
+  // runs the runtime-dispatched vectorized log kernel over it.
+  void FillExponentials(std::span<double> out);
 
   // Standard normal deviate via Marsaglia polar method.
   double NextGaussian();

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "ats/core/random.h"
+#include "ats/core/simd/simd_dispatch.h"
 #include "ats/core/threshold.h"
 #include "ats/util/check.h"
 
@@ -103,44 +104,29 @@ static_assert(kIngestBlock <= 64,
 template <typename Visit>
 inline void VisitBlockCandidates(const double* priorities, double t,
                                  Visit&& visit) {
-#if defined(__AVX2__)
-  // Candidate bitmap; the variable shift maps to vpsllvq, so the whole
-  // scan vectorizes. Set bits are visited in ascending index (stream)
-  // order -- required for exact equivalence with a scalar Offer loop
-  // when priorities tie (which payload survives is order-dependent).
-  uint64_t mask = 0;
-  for (size_t j = 0; j < kIngestBlock; ++j) {
-    mask |= static_cast<uint64_t>(priorities[j] < t) << j;
-  }
+  // Runtime-dispatched compare scan (src/ats/core/simd/): one candidate
+  // bit per item, packed into a uint64_t. Set bits are visited in
+  // ascending index (stream) order -- required for exact equivalence
+  // with a scalar Offer loop when priorities tie (which payload survives
+  // is order-dependent). The kernel's IEEE `<` matches the scalar
+  // compare bit-for-bit at every dispatch level (NaN never a candidate).
+  uint64_t mask = simd::ActiveKernels().prefilter_mask64(priorities, t);
   while (mask != 0) {
     const size_t j = static_cast<size_t>(std::countr_zero(mask));
     mask &= mask - 1;
     visit(j);
   }
-#else
-  // Without AVX2 variable shifts, an any-hit OR-reduction (a plain SSE
-  // compare reduction) decides whether the block can be skipped
-  // wholesale; candidate blocks are rare once the store saturates.
-  int any = 0;
-  for (size_t j = 0; j < kIngestBlock; ++j) {
-    any |= priorities[j] < t;
-  }
-  if (any) {
-    for (size_t j = 0; j < kIngestBlock; ++j) {
-      if (priorities[j] < t) visit(j);
-    }
-  }
-#endif
 }
 
 // Fused hash -> priority -> pre-filter pipeline over a span of keys: for
-// each 64-key block, the coordinated unit-interval priorities are
-// computed into a dense column FIRST (a straight-line loop the compiler
-// vectorizes: Mix64 is mul/xor/shift), then the block is culled against
-// `bound()` with VisitBlockCandidates, and only surviving (priority, key)
-// pairs reach `visit` -- in stream order, exactly like a scalar
-// hash-then-offer loop. `bound` is re-read per block (and per tail item)
-// so compactions triggered by accepted candidates tighten the filter for
+// each 64-key block, the runtime-dispatched hash_priority_mask64 kernel
+// (src/ats/core/simd/) hashes the keys, writes the coordinated
+// unit-interval priorities into a dense column, and culls the block
+// against `bound()` in one pass; only surviving (priority, key) pairs
+// reach `visit` -- in stream order, exactly like a scalar hash-then-offer
+// loop (the kernel is bit-exact vs HashToUnit(HashKey(...)) at every
+// dispatch level). `bound` is re-read per block (and per tail item) so
+// compactions triggered by accepted candidates tighten the filter for
 // subsequent blocks.
 template <typename BoundFn, typename Visit>
 inline void VisitHashedCandidates(std::span<const uint64_t> keys,
@@ -149,12 +135,13 @@ inline void VisitHashedCandidates(std::span<const uint64_t> keys,
   alignas(64) double priorities[kIngestBlock];
   size_t i = 0;
   for (; i + kIngestBlock <= keys.size(); i += kIngestBlock) {
-    for (size_t j = 0; j < kIngestBlock; ++j) {
-      priorities[j] = HashToUnit(HashKey(keys[i + j], salt));
-    }
-    VisitBlockCandidates(priorities, bound(), [&](size_t j) {
+    uint64_t mask = simd::ActiveKernels().hash_priority_mask64(
+        keys.data() + i, salt, bound(), priorities);
+    while (mask != 0) {
+      const size_t j = static_cast<size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
       visit(priorities[j], keys[i + j]);
-    });
+    }
   }
   for (; i < keys.size(); ++i) {
     const double p = HashToUnit(HashKey(keys[i], salt));
@@ -495,6 +482,26 @@ class SampleStore {
     payload_.resize(w);
     if (removed > 0) ++mutation_epoch_;
     return removed;
+  }
+
+  /// Time-axis hook: drops the first `n` retained entries (arrival
+  /// order), equivalent to ExtractIf removing exactly the prefix but
+  /// without per-element lambda dispatch: one ranged vector::erase per
+  /// column (a memmove for the POD priority column). This is the sliding
+  /// window's dead-prefix reclamation hot path at the rate == k boundary,
+  /// where every arrival expires one predecessor. Like ExtractIf, the
+  /// threshold is deliberately not touched. Bumps the mutation epoch iff
+  /// n > 0. Thread-safety: mutating call -- never run concurrently with
+  /// any other access to the same store.
+  void DropFront(size_t n) {
+    CompactToK();
+    ATS_CHECK(n <= priority_.size());
+    if (n == 0) return;
+    priority_.erase(priority_.begin(),
+                    priority_.begin() + static_cast<ptrdiff_t>(n));
+    payload_.erase(payload_.begin(),
+                   payload_.begin() + static_cast<ptrdiff_t>(n));
+    ++mutation_epoch_;
   }
 
   /// Time-axis hook: visits every canonical payload mutably, in arrival

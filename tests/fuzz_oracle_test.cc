@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,7 @@
 
 #include "ats/baselines/varopt.h"
 #include "ats/core/bottom_k.h"
+#include "ats/core/simd/simd_dispatch.h"
 #include "ats/samplers/multi_stratified.h"
 #include "ats/samplers/sliding_window.h"
 #include "ats/samplers/time_decay.h"
@@ -265,6 +267,61 @@ TEST_P(FuzzSweep, DecayFrameHostileBytesFailCleanly) {
   const std::vector<std::string_view> frames{frame, corrupt};
   EXPECT_FALSE(target.MergeManyFrames(frames));
   EXPECT_EQ(target.SerializeToString(), before);
+}
+
+TEST_P(FuzzSweep, VectorizedIngestMatchesScalarDispatchAtEverySeed) {
+  // The randomized KMV + decay workloads, replayed through every SIMD
+  // dispatch level the host supports: the resulting sampler state must
+  // be byte-identical to the forced-scalar run (the kernels are pinned
+  // bit-exact in simd_kernels_test.cc; this sweeps them through the full
+  // randomized ingest paths -- batched hashing, block pre-filter,
+  // log-key columns -- under hostile sizes and duplicate patterns).
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::DetectedSimdLevel() >= simd::SimdLevel::kSse2)
+    levels.push_back(simd::SimdLevel::kSse2);
+  if (simd::DetectedSimdLevel() >= simd::SimdLevel::kAvx2)
+    levels.push_back(simd::SimdLevel::kAvx2);
+
+  std::string kmv_ref, decay_ref;
+  for (simd::SimdLevel level : levels) {
+    simd::ScopedSimdLevel scoped(level);
+
+    Xoshiro256 rng(GetParam() * 71 + 13);
+    const size_t k = 8 + rng.NextBelow(64);
+    KmvSketch sketch(k, 1.0, GetParam());
+    std::vector<uint64_t> keys(500 + rng.NextBelow(600));
+    for (auto& key : keys) key = rng.NextBelow(900);
+    // Uneven batch splits exercise every block-tail length.
+    size_t i = 0;
+    while (i < keys.size()) {
+      const size_t len =
+          std::min(keys.size() - i, 1 + rng.NextBelow(150));
+      sketch.AddKeys(std::span(keys.data() + i, len));
+      i += len;
+    }
+
+    TimeDecaySampler decay(1 + rng.NextBelow(40), GetParam() * 7 + 1);
+    std::vector<TimeDecaySampler::TimedItem> items(
+        300 + rng.NextBelow(400));
+    double t = 0.0;
+    for (size_t j = 0; j < items.size(); ++j) {
+      t += rng.NextDouble();
+      items[j] = {j, 0.0625 + rng.NextDouble() * 16.0, 1.0, t};
+    }
+    decay.AddBatch(items);
+
+    const std::string kmv_state = sketch.SerializeToString();
+    const std::string decay_state = decay.SerializeToString();
+    if (level == simd::SimdLevel::kScalar) {
+      kmv_ref = kmv_state;
+      decay_ref = decay_state;
+    } else {
+      EXPECT_EQ(kmv_state, kmv_ref)
+          << "level=" << simd::SimdLevelName(level);
+      EXPECT_EQ(decay_state, decay_ref)
+          << "level=" << simd::SimdLevelName(level);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
