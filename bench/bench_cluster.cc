@@ -1,0 +1,186 @@
+// Cluster-tier benchmarks (google-benchmark): million-key chaos runs
+// through the full agent -> fan-in tree -> root pipeline, reporting
+// wire efficiency, staleness, and root-query accuracy alongside
+// throughput.
+//
+//   ./build/bench/bench_cluster
+//   ./build/bench/bench_cluster --json=BENCH_cluster.json
+//
+// The headline numbers, as counters on each benchmark:
+//   * bytes_on_wire vs naive_reship_bytes -- what the ack/supersession
+//     protocol shipped vs a protocol that re-ships every node's full
+//     snapshot at every cadence point for the same duration
+//     (wire_savings_x = naive / actual).
+//   * root_rel_err_pct -- root estimate vs the exact distinct count
+//     over all agent logs, after convergence.
+//   * max_epochs_behind -- worst per-subtree staleness observed at any
+//     ingest-phase cadence point (graceful-degradation depth).
+//   * ticks_to_quiesce, retransmissions, rejected_* -- protocol cost of
+//     the chaos profile.
+//   * converged_bit_exact -- 1.0 iff the root's serialized state equals
+//     the fault-free flat merge byte-for-byte (anything else is a bug).
+//
+// The chaos profile below is recorded in the JSON context under
+// `ats_cluster_fault_profile`; bench/compare_bench.py refuses to
+// compare two files whose profiles differ, so cross-run comparisons
+// can never silently mix chaos levels.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json_main.h"
+
+#include "ats/cluster/cluster.h"
+
+namespace ats::cluster {
+namespace {
+
+// ~1M keys total: 8 agents x 1024 keys/tick x 128 ingest ticks.
+constexpr uint64_t kAgents = 8;
+constexpr uint64_t kKeysPerTick = 1024;
+constexpr uint64_t kIngestTicks = 128;
+constexpr size_t kSketchK = 4096;
+
+// The canonical chaos profile for this suite. Changing ANY of these
+// changes the workload being measured -- keep kFaultProfileString in
+// sync (it is what gates cross-run comparisons).
+FaultProfile ChaosProfile() {
+  FaultProfile p;
+  p.drop_rate = 0.05;
+  p.duplicate_rate = 0.02;
+  p.corrupt_rate = 0.02;
+  p.truncate_rate = 0.01;
+  p.min_delay_ticks = 1;
+  p.max_delay_ticks = 4;
+  return p;
+}
+constexpr const char* kFaultProfileString =
+    "drop=0.05,dup=0.02,corrupt=0.02,truncate=0.01,delay=1-4,crash=0.01";
+
+ClusterConfig BenchConfig(uint64_t fan_in, bool chaos) {
+  ClusterConfig config;
+  config.num_agents = kAgents;
+  config.fan_in = fan_in;
+  config.k = kSketchK;
+  config.seed = 0xbe9c4;
+  config.workload = ClusterConfig::Workload::kUniform;
+  config.universe = 1 << 20;
+  config.keys_per_tick = kKeysPerTick;
+  config.ingest_ticks = kIngestTicks;
+  config.snapshot_every = 8;
+  if (chaos) {
+    config.faults = ChaosProfile();
+    config.agent_crash_rate = 0.01;
+    config.crash_down_ticks = 8;
+  }
+  // First retry after the worst-case round trip, so retransmissions
+  // measure loss, not impatience.
+  config.retry.initial_backoff_ticks =
+      2 * config.faults.max_delay_ticks + 2;
+  config.max_ticks = 1 << 16;
+  return config;
+}
+
+void ReportRun(benchmark::State& state, const ClusterSim& sim) {
+  const ClusterMetrics m = sim.Metrics();
+  const double exact = static_cast<double>(sim.ExactDistinctTotal());
+  const double est = sim.root().Estimate();
+  state.counters["bytes_on_wire"] =
+      benchmark::Counter(static_cast<double>(m.transport.bytes_on_wire));
+  state.counters["naive_reship_bytes"] =
+      benchmark::Counter(static_cast<double>(m.naive_reship_bytes));
+  state.counters["wire_savings_x"] = benchmark::Counter(
+      m.transport.bytes_on_wire > 0
+          ? static_cast<double>(m.naive_reship_bytes) /
+                static_cast<double>(m.transport.bytes_on_wire)
+          : 0.0);
+  state.counters["root_rel_err_pct"] =
+      benchmark::Counter(100.0 * std::abs(est - exact) / exact);
+  state.counters["ticks_to_quiesce"] =
+      benchmark::Counter(static_cast<double>(m.ticks));
+  state.counters["retransmissions"] =
+      benchmark::Counter(static_cast<double>(m.retransmissions));
+  state.counters["superseded_cancelled"] =
+      benchmark::Counter(static_cast<double>(m.superseded_cancelled));
+  state.counters["rejected_corrupt"] = benchmark::Counter(
+      static_cast<double>(m.root_rejects.corrupt_body));
+  state.counters["rejected_truncated"] =
+      benchmark::Counter(static_cast<double>(m.root_rejects.truncated));
+  state.counters["agent_crashes"] =
+      benchmark::Counter(static_cast<double>(m.agent_crashes));
+  state.counters["converged_bit_exact"] = benchmark::Counter(
+      sim.root().SnapshotFrame() == sim.FaultFreeRootFrame() ? 1.0 : 0.0);
+}
+
+// Full convergence run: ingest a million keys under the profile, drain
+// to quiescence, verify bit-exact convergence. items/sec counts keys
+// through the whole distributed pipeline (sketch + serialize + faulty
+// wire + retry + merge).
+void RunConvergenceBench(benchmark::State& state, uint64_t fan_in,
+                         bool chaos) {
+  std::unique_ptr<ClusterSim> last;
+  double max_behind = 0.0;
+  for (auto _ : state) {
+    last = std::make_unique<ClusterSim>(BenchConfig(fan_in, chaos));
+    while (!last->IngestDone()) {
+      last->Tick();
+      if (last->now() % 8 != 0) continue;
+      for (const SubtreeStaleness& s : last->root().Staleness()) {
+        max_behind = std::max(
+            max_behind, static_cast<double>(s.epochs_behind()));
+      }
+    }
+    const bool quiesced = last->RunUntilQuiescent();
+    benchmark::DoNotOptimize(quiesced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAgents * kKeysPerTick *
+                                               kIngestTicks));
+  ReportRun(state, *last);
+  state.counters["max_epochs_behind"] = benchmark::Counter(max_behind);
+}
+
+void BM_ClusterFaultFreeFlat(benchmark::State& state) {
+  RunConvergenceBench(state, /*fan_in=*/0, /*chaos=*/false);
+}
+BENCHMARK(BM_ClusterFaultFreeFlat)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterChaosFlat(benchmark::State& state) {
+  RunConvergenceBench(state, /*fan_in=*/0, /*chaos=*/true);
+}
+BENCHMARK(BM_ClusterChaosFlat)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterChaosTree(benchmark::State& state) {
+  RunConvergenceBench(state, /*fan_in=*/3, /*chaos=*/true);
+}
+BENCHMARK(BM_ClusterChaosTree)->Unit(benchmark::kMillisecond);
+
+// The root query under load: how expensive is answering from the last
+// consistent snapshot while frames stream in (it is a pure read of the
+// merged sketch -- this pins that it STAYS one).
+void BM_ClusterRootQueryMidChaos(benchmark::State& state) {
+  ClusterSim sim(BenchConfig(/*fan_in=*/0, /*chaos=*/true));
+  sim.RunIngest();  // mid-flight: outboxes and wire still busy
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += sim.root().Estimate();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterRootQueryMidChaos);
+
+}  // namespace
+}  // namespace ats::cluster
+
+int main(int argc, char** argv) {
+  // The chaos profile is part of the workload's identity: record it in
+  // the JSON context so bench/compare_bench.py can refuse to compare
+  // runs measured under different fault regimes.
+  benchmark::AddCustomContext("ats_cluster_fault_profile",
+                              ats::cluster::kFaultProfileString);
+  return ats::RunBenchmarksWithJsonFlag(argc, argv, "BENCH_cluster.json");
+}

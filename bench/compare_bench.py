@@ -16,6 +16,13 @@ error: a suite added in the head revision (e.g. BENCH_concurrent.json
 when the base predates the concurrent tier) has no baseline yet, and CI
 compares every suite the head produces without special-casing new ones.
 
+Workload-identity context keys (currently `ats_cluster_fault_profile`,
+written by bench/bench_cluster.cc) gate the comparison: when BOTH files
+carry such a key and the values differ, the runs measured different
+workloads and any ratio between them is meaningless -- that is a
+malformed comparison (exit 2), not a regression. A key present in only
+one file is fine (a suite gained or lost the key across revisions).
+
 Usage:
   bench/compare_bench.py BASELINE.json CURRENT.json \
       [--max-regression 0.15] [--missing-baseline-ok]
@@ -31,13 +38,40 @@ import os
 import sys
 
 
-def load_throughputs(path):
+# Context keys that define the measured workload's identity: two runs
+# whose values differ are DIFFERENT experiments, and comparing them
+# would be a silent lie (e.g. a low-chaos run "beating" a high-chaos
+# baseline).
+WORKLOAD_IDENTITY_KEYS = ("ats_cluster_fault_profile",)
+
+
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def check_workload_identity(base_doc, cur_doc, base_path, cur_path):
+    base_ctx = base_doc.get("context", {})
+    cur_ctx = cur_doc.get("context", {})
+    for key in WORKLOAD_IDENTITY_KEYS:
+        if key not in base_ctx or key not in cur_ctx:
+            continue  # key adopted/retired across revisions: comparable
+        if base_ctx[key] != cur_ctx[key]:
+            print(
+                f"error: {key} differs between {base_path} "
+                f"({base_ctx[key]!r}) and {cur_path} ({cur_ctx[key]!r}); "
+                "these runs measured different workloads and cannot be "
+                "compared",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+
+
+def load_throughputs(doc):
     out = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -77,8 +111,11 @@ def main():
         )
         return 0
 
-    base = load_throughputs(args.baseline)
-    cur = load_throughputs(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    check_workload_identity(base_doc, cur_doc, args.baseline, args.current)
+    base = load_throughputs(base_doc)
+    cur = load_throughputs(cur_doc)
 
     regressions = []
     rows = []

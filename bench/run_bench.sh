@@ -2,8 +2,8 @@
 # Builds the google-benchmark binaries in a DEDICATED Release tree and
 # writes machine-readable JSON results (BENCH_throughput.json,
 # BENCH_sharded.json, BENCH_merge.json, BENCH_window.json,
-# BENCH_concurrent.json, BENCH_simd.json) into the repo root, so
-# successive PRs can track the perf trajectory.
+# BENCH_concurrent.json, BENCH_simd.json, BENCH_cluster.json) into the
+# repo root, so successive PRs can track the perf trajectory.
 #
 # The build directory defaults to build-release/ (NOT the dev build/):
 # reusing a developer tree configured without -DCMAKE_BUILD_TYPE risks
@@ -33,7 +33,7 @@ then
 fi
 cmake --build "$BUILD_DIR" -j \
       --target bench_throughput bench_sharded bench_merge bench_window \
-               bench_concurrent bench_simd
+               bench_concurrent bench_simd bench_cluster
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -53,13 +53,17 @@ cmake --build "$BUILD_DIR" -j \
 "$BUILD_DIR/bench/bench_simd" \
     --json="$REPO_ROOT/BENCH_simd.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_cluster" \
+    --json="$REPO_ROOT/BENCH_cluster.json" \
+    --benchmark_min_time=0.1
 
 for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_sharded.json" \
            "$REPO_ROOT/BENCH_merge.json" \
            "$REPO_ROOT/BENCH_window.json" \
            "$REPO_ROOT/BENCH_concurrent.json" \
-           "$REPO_ROOT/BENCH_simd.json"
+           "$REPO_ROOT/BENCH_simd.json" \
+           "$REPO_ROOT/BENCH_cluster.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
@@ -85,7 +89,18 @@ do
   fi
 done
 
+# The cluster suite's numbers are only comparable across runs measured
+# under the SAME chaos profile; the profile must therefore travel inside
+# the JSON (compare_bench.py diffs this context key and refuses to
+# compare mismatched profiles).
+if ! grep -q '"ats_cluster_fault_profile"' "$REPO_ROOT/BENCH_cluster.json"
+then
+  echo "error: BENCH_cluster.json lacks the ats_cluster_fault_profile" \
+       "context entry (see bench/bench_cluster.cc)" >&2
+  exit 1
+fi
+
 echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
      "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json," \
-     "$REPO_ROOT/BENCH_window.json, $REPO_ROOT/BENCH_concurrent.json" \
-     "and $REPO_ROOT/BENCH_simd.json"
+     "$REPO_ROOT/BENCH_window.json, $REPO_ROOT/BENCH_concurrent.json," \
+     "$REPO_ROOT/BENCH_simd.json and $REPO_ROOT/BENCH_cluster.json"

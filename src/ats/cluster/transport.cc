@@ -1,0 +1,65 @@
+#include "ats/cluster/transport.h"
+
+#include "ats/util/check.h"
+
+namespace ats::cluster {
+
+FaultyTransport::FaultyTransport(const FaultProfile& profile, uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  ATS_CHECK(profile.max_delay_ticks >= profile.min_delay_ticks);
+}
+
+void FaultyTransport::Send(uint64_t to, std::string bytes, uint64_t now) {
+  ++stats_.messages_sent;
+  // Fixed draw order per call: duplicate decision first, then each copy
+  // independently draws (corrupt, truncate, drop, delay). Outcomes only
+  // consume draws for the faults they trigger, which stays deterministic
+  // because the call sequence itself is deterministic.
+  const bool duplicate = rng_.NextDouble() < profile_.duplicate_rate;
+  if (duplicate) {
+    ++stats_.duplicated;
+    Transmit(to, bytes, now);  // copy
+  }
+  Transmit(to, std::move(bytes), now);
+}
+
+void FaultyTransport::Transmit(uint64_t to, std::string bytes,
+                               uint64_t now) {
+  ++stats_.copies_transmitted;
+  if (rng_.NextDouble() < profile_.corrupt_rate && !bytes.empty()) {
+    ++stats_.corrupted;
+    const size_t pos = rng_.NextBelow(bytes.size());
+    bytes[pos] = static_cast<char>(bytes[pos] ^
+                                   (1u << rng_.NextBelow(8)));
+  }
+  if (rng_.NextDouble() < profile_.truncate_rate && !bytes.empty()) {
+    ++stats_.truncated;
+    bytes.resize(rng_.NextBelow(bytes.size()));  // strict prefix
+  }
+  stats_.bytes_on_wire += bytes.size();
+  const bool dropped = rng_.NextDouble() < profile_.drop_rate;
+  const uint64_t delay =
+      profile_.min_delay_ticks +
+      (profile_.max_delay_ticks > profile_.min_delay_ticks
+           ? rng_.NextBelow(profile_.max_delay_ticks -
+                            profile_.min_delay_ticks + 1)
+           : 0);
+  if (dropped) {
+    ++stats_.dropped;
+    return;  // transmitted, never delivered
+  }
+  in_flight_.emplace(std::make_pair(now + delay, next_copy_id_++),
+                     Delivery{to, std::move(bytes)});
+}
+
+std::vector<Delivery> FaultyTransport::DeliverDue(uint64_t now) {
+  std::vector<Delivery> due;
+  auto it = in_flight_.begin();
+  while (it != in_flight_.end() && it->first.first <= now) {
+    due.push_back(std::move(it->second));
+    it = in_flight_.erase(it);
+  }
+  return due;
+}
+
+}  // namespace ats::cluster

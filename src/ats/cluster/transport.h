@@ -1,0 +1,98 @@
+// FaultyTransport: the in-process chaos layer between cluster nodes.
+//
+// Messages are opaque byte strings sent to a destination node id and
+// delivered after a (possibly jittered) delay on the simulated tick
+// clock. Every fault is injected DETERMINISTICALLY from a single seed:
+// the same seed and the same Send() call sequence reproduce the same
+// drops, duplicates, delays, corruptions, and truncations byte-for-byte,
+// which is what makes a chaos scenario replayable in CI (the determinism
+// check reruns a scenario and diffs the root's serialized state).
+//
+// Fault model, applied per Send:
+//   * drop      -- the message is transmitted but never delivered
+//   * duplicate -- a second copy is scheduled with its own delay
+//   * delay     -- each copy's delivery is delayed uniformly in
+//                  [min_delay, max_delay] ticks; a jitter window larger
+//                  than one tick REORDERS messages naturally
+//   * corrupt   -- one random byte of the copy is bit-flipped
+//   * truncate  -- the copy is cut to a strict prefix
+//
+// Corruption and truncation damage the bytes only; the envelope checksum
+// and declared length (cluster/envelope.h) are what detect them at the
+// receiver, which then refuses to ack, which is what drives the sender's
+// retry loop. The transport never interprets the bytes it carries.
+#ifndef ATS_CLUSTER_TRANSPORT_H_
+#define ATS_CLUSTER_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ats/core/random.h"
+
+namespace ats::cluster {
+
+// Fault rates are probabilities in [0, 1]; delays are in ticks.
+struct FaultProfile {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double truncate_rate = 0.0;
+  uint64_t min_delay_ticks = 1;
+  uint64_t max_delay_ticks = 1;  // > min_delay_ticks reorders
+
+  static FaultProfile None() { return FaultProfile{}; }
+};
+
+struct Delivery {
+  uint64_t to = 0;
+  std::string bytes;
+};
+
+// Wire accounting. `bytes_on_wire` counts every transmitted copy at its
+// transmitted (post-truncation) length, dropped copies included -- the
+// link carried them; the receiver just never saw them.
+struct TransportStats {
+  uint64_t messages_sent = 0;      // Send() calls
+  uint64_t copies_transmitted = 0; // after duplication
+  uint64_t bytes_on_wire = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+};
+
+class FaultyTransport {
+ public:
+  FaultyTransport(const FaultProfile& profile, uint64_t seed);
+
+  // Transmits `bytes` toward node `to`, applying the fault profile.
+  // RNG draws happen in a fixed per-call order, so the fault sequence is
+  // a pure function of (seed, call sequence).
+  void Send(uint64_t to, std::string bytes, uint64_t now);
+
+  // Pops every delivery due at or before `now`, in deterministic
+  // (deliver_at, transmission order) order.
+  std::vector<Delivery> DeliverDue(uint64_t now);
+
+  // No deliveries in flight.
+  bool Idle() const { return in_flight_.empty(); }
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  void Transmit(uint64_t to, std::string bytes, uint64_t now);
+
+  FaultProfile profile_;
+  Xoshiro256 rng_;
+  TransportStats stats_;
+  uint64_t next_copy_id_ = 0;
+  // Keyed by (deliver_at, copy id): deterministic iteration order.
+  std::map<std::pair<uint64_t, uint64_t>, Delivery> in_flight_;
+};
+
+}  // namespace ats::cluster
+
+#endif  // ATS_CLUSTER_TRANSPORT_H_

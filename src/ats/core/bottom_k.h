@@ -194,6 +194,18 @@ class BottomK {
     return DeserializeSketch<BottomK>(bytes);
   }
 
+  // Typed rejection reason for a frame Deserialize would refuse:
+  // structural cause first (truncated / foreign magic / future version /
+  // checksum), kCorruptBody for field- or entry-level violations, kNone
+  // iff the frame parses. Per-cause rejection counters in the transport
+  // tier are built on this.
+  static FrameFault DiagnoseFrame(std::string_view frame) {
+    const FrameFault f = ClassifyFrameBytes(frame, kMagic, kVersion);
+    if (f != FrameFault::kNone) return f;
+    return Deserialize(frame).has_value() ? FrameFault::kNone
+                                          : FrameFault::kCorruptBody;
+  }
+
   // Zero-copy read-only view over a whole serialized frame (the
   // SerializeToString layout, trailing checksum included). Parsing
   // validates everything Deserialize validates -- checksum, header,

@@ -506,6 +506,14 @@ SlidingWindowSampler::StoredItem SlidingWindowSampler::FrameView::entry(
   return it;
 }
 
+FrameFault SlidingWindowSampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f =
+      ClassifyFrameBytes(frame, kWindowMagic, kWindowVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
 std::optional<SlidingWindowSampler::FrameView>
 SlidingWindowSampler::DeserializeView(std::string_view frame) {
   auto r = OpenCheckedFrame(frame, kWindowMagic, kWindowVersion);

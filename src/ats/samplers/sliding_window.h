@@ -169,6 +169,12 @@ class SlidingWindowSampler {
     return DeserializeSketch<SlidingWindowSampler>(bytes);
   }
 
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
   /// Zero-copy read-only view over a whole serialized frame (checksum
   /// included). Parsing validates everything Deserialize validates but
   /// materializes nothing; the view borrows the frame's storage and must

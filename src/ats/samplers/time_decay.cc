@@ -120,6 +120,13 @@ std::optional<TimeDecaySampler> TimeDecaySampler::Deserialize(
   return sampler;
 }
 
+FrameFault TimeDecaySampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f = ClassifyFrameBytes(frame, kDecayMagic, kDecayVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
 std::optional<TimeDecaySampler::FrameView> TimeDecaySampler::DeserializeView(
     std::string_view frame) {
   auto r = OpenCheckedFrame(frame, kDecayMagic, kDecayVersion);

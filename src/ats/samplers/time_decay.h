@@ -166,6 +166,12 @@ class TimeDecaySampler {
     return DeserializeSketch<TimeDecaySampler>(bytes);
   }
 
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
   /// Zero-copy read-only view over a whole serialized frame: the outer
   /// checksum/header/RNG fields are validated, then the embedded sample
   /// region is exposed through the generic bottom-k frame view. Borrows

@@ -6,8 +6,8 @@
 #include "ats/util/check.h"
 
 namespace {
-constexpr uint32_t kKmvMagic = 0x4b4d5632;  // "KMV2"
-constexpr uint32_t kKmvVersion = 1;
+constexpr uint32_t kKmvMagic = ats::KmvSketch::kWireMagic;
+constexpr uint32_t kKmvVersion = ats::KmvSketch::kWireVersion;
 
 // Wire stride of one (priority, key) frame entry.
 constexpr size_t kKmvEntryStride = sizeof(double) + sizeof(uint64_t);
@@ -235,6 +235,13 @@ bool KmvSketch::MergeManyFrames(std::span<const std::string_view> frames) {
   }
   store_.PurgeAboveThreshold();
   return true;
+}
+
+FrameFault KmvSketch::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f = ClassifyFrameBytes(frame, kKmvMagic, kKmvVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
 }
 
 void KmvSketch::SerializeTo(ByteWriter& w) const {

@@ -156,6 +156,17 @@ class KmvSketch {
     return DeserializeSketch<KmvSketch>(bytes);
   }
 
+  // Typed rejection reason for a frame Deserialize would refuse: the
+  // structural cause (truncated / foreign magic / future version /
+  // checksum), or kCorruptBody when the frame is structurally sound but
+  // an interior field or entry fails validation. kNone iff the frame
+  // parses. Lets transports and aggregators count rejections per cause
+  // and distinguish retry-able short reads from poison frames.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  static constexpr uint32_t kWireMagic = 0x4b4d5632;  // "KMV2"
+  static constexpr uint32_t kWireVersion = 1;
+
  private:
   // Rebuilds seen_ from the retained priorities, shedding evicted ones.
   void CompactSeen();

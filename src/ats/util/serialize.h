@@ -136,6 +136,34 @@ concept MergeableSketch =
       { t.Merge(other) } -> std::same_as<void>;
     };
 
+// --- Typed frame-rejection reasons ------------------------------------
+
+// Why a wire frame failed validation. The transport tier uses this to
+// separate retry-able damage from poison: a kTruncated frame is a short
+// read (the sender's retransmission of the intact bytes will parse), a
+// kCorruptBody frame is garbage that no retry fixes, and kBadMagic /
+// kBadVersion are protocol mismatches worth alarming on rather than
+// retrying. Rejection counters keyed by this enum make the difference
+// observable per cause instead of collapsing to one opaque `false`.
+enum class FrameFault : uint8_t {
+  kNone = 0,     // frame is valid
+  kTruncated,    // fewer bytes than the format requires (short read)
+  kBadMagic,     // frame is not from this family
+  kBadVersion,   // version 0 or from the future
+  kCorruptBody,  // structurally framed but checksum/field/entry invalid
+};
+
+constexpr const char* FrameFaultName(FrameFault fault) {
+  switch (fault) {
+    case FrameFault::kNone: return "none";
+    case FrameFault::kTruncated: return "truncated";
+    case FrameFault::kBadMagic: return "bad_magic";
+    case FrameFault::kBadVersion: return "bad_version";
+    case FrameFault::kCorruptBody: return "corrupt_body";
+  }
+  return "unknown";
+}
+
 // FNV-1a over a byte span; the whole-buffer framing below appends it so
 // any flipped byte is caught, not only the ones field validation can see.
 inline uint32_t FrameChecksum(std::string_view bytes) {
@@ -198,6 +226,51 @@ std::optional<T> DeserializeSketch(std::string_view bytes) {
   auto sketch = T::Deserialize(r);
   if (!sketch.has_value() || !r.AtEnd()) return std::nullopt;
   return sketch;
+}
+
+// Structural triage of a whole-buffer frame against a family's magic and
+// version ceiling, in header order: too short to even hold the 8-byte
+// header plus the trailing checksum -> kTruncated; foreign magic ->
+// kBadMagic; version 0 or above `max_version` -> kBadVersion; checksum
+// mismatch -> kCorruptBody. A bare sketch frame carries no declared
+// length, so a mid-body short read is indistinguishable from flipped
+// bytes here and reports kCorruptBody; the transport envelope
+// (cluster/envelope.h) declares its payload length and is where short
+// reads classify as kTruncated. Returns kNone when the structural layers
+// pass -- body-level field validation may still reject the frame, which
+// callers report as kCorruptBody (see the family DiagnoseFrame methods).
+inline FrameFault ClassifyFrameBytes(std::string_view frame, uint32_t magic,
+                                     uint32_t max_version) {
+  constexpr size_t kHeaderAndChecksum = 3 * sizeof(uint32_t);
+  if (frame.size() < kHeaderAndChecksum) return FrameFault::kTruncated;
+  ByteReader r(frame);
+  const auto m = r.ReadU32();
+  if (*m != magic) return FrameFault::kBadMagic;
+  const auto v = r.ReadU32();
+  if (*v == 0 || *v > max_version) return FrameFault::kBadVersion;
+  if (!CheckedFrameBody(frame)) return FrameFault::kCorruptBody;
+  return FrameFault::kNone;
+}
+
+// DeserializeSketch with a typed rejection reason: on failure, `fault`
+// (if non-null) is set to the structural cause, or kCorruptBody when the
+// frame is structurally sound but body validation rejected it. On
+// success `fault` is kNone.
+template <MergeableSketch T>
+std::optional<T> DeserializeSketchDiagnosed(std::string_view bytes,
+                                            uint32_t magic,
+                                            uint32_t max_version,
+                                            FrameFault* fault) {
+  auto sketch = DeserializeSketch<T>(bytes);
+  if (sketch.has_value()) {
+    if (fault) *fault = FrameFault::kNone;
+    return sketch;
+  }
+  if (fault) {
+    const FrameFault f = ClassifyFrameBytes(bytes, magic, max_version);
+    *fault = f == FrameFault::kNone ? FrameFault::kCorruptBody : f;
+  }
+  return std::nullopt;
 }
 
 }  // namespace ats

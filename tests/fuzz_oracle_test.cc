@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "ats/baselines/varopt.h"
+#include "ats/cluster/envelope.h"
+#include "ats/cluster/node.h"
 #include "ats/core/bottom_k.h"
 #include "ats/core/simd/simd_dispatch.h"
 #include "ats/samplers/multi_stratified.h"
@@ -322,6 +324,102 @@ TEST_P(FuzzSweep, VectorizedIngestMatchesScalarDispatchAtEverySeed) {
           << "level=" << simd::SimdLevelName(level);
     }
   }
+}
+
+TEST_P(FuzzSweep, EnvelopeHostileBytesFailClosedWithTypedReasons) {
+  // The cluster envelope (ENV1) under the same hostility contract as
+  // the sketch frames, strengthened: every strict prefix and every
+  // single-bit flip must not merely FAIL but fail with the RIGHT typed
+  // reason for the byte region it damages, and an aggregator fed every
+  // hostile mutation must keep its merged state byte-identical.
+  Xoshiro256 rng(GetParam() * 101 + 13);
+  KmvSketch payload_sketch(4 + rng.NextBelow(12), 1.0, /*salt=*/21);
+  const int keys = 30 + static_cast<int>(rng.NextBelow(200));
+  for (int i = 0; i < keys; ++i) payload_sketch.AddKey(rng.Next());
+  const std::string payload = payload_sketch.SerializeToString();
+  const std::string frame = cluster::EncodeEnvelope(
+      cluster::EnvelopeKind::kData, /*sender=*/5, /*incarnation=*/0,
+      /*seq=*/rng.NextBelow(100), /*epoch=*/keys, payload);
+
+  // An aggregator with applied state: the victim for the sweep. Seed it
+  // with a DIFFERENT sender so the hostile frames target fresh state.
+  cluster::AggregatorNode victim(/*id=*/900, payload_sketch.k(),
+                                 /*salt=*/21, cluster::RetryPolicy{});
+  ASSERT_EQ(victim
+                .Receive(cluster::EncodeEnvelope(
+                    cluster::EnvelopeKind::kData, /*sender=*/1, 0, 0,
+                    /*epoch=*/keys, payload))
+                .kind,
+            cluster::ReceiveOutcome::Kind::kApplied);
+  const std::string before = victim.SnapshotFrame();
+  uint64_t hostile_inputs = 0;
+
+  const auto expect_fault = [&](std::string_view bytes, FrameFault want,
+                                const char* what, size_t pos) {
+    cluster::EnvelopeView view;
+    EXPECT_EQ(cluster::DecodeEnvelope(bytes, &view), want)
+        << what << " at byte " << pos;
+    const auto outcome = victim.Receive(bytes);
+    EXPECT_EQ(outcome.kind,
+              cluster::ReceiveOutcome::Kind::kEnvelopeRejected)
+        << what << " at byte " << pos;
+    EXPECT_EQ(outcome.fault, want) << what << " at byte " << pos;
+    EXPECT_FALSE(outcome.send_ack);
+    ++hostile_inputs;
+  };
+
+  // Every strict prefix is a short read.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    expect_fault(std::string_view(frame.data(), len),
+                 FrameFault::kTruncated, "prefix", len);
+  }
+
+  // Every single-bit flip classifies by the byte region it lands in.
+  constexpr size_t kLenOffset = 44;  // payload_len field, per the spec
+  const size_t checksum_pos = cluster::kEnvelopeHeaderSize + payload.size();
+  ByteReader len_reader(
+      std::string_view(frame).substr(kLenOffset, sizeof(uint64_t)));
+  const uint64_t declared_len = *len_reader.ReadU64();
+  for (size_t pos = 0; pos < frame.size(); ++pos) {
+    const int bit = static_cast<int>(pos % 8);
+    std::string bad = frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+    FrameFault want;
+    if (pos < 4) {
+      want = FrameFault::kBadMagic;
+    } else if (pos < 8) {
+      want = FrameFault::kBadVersion;
+    } else if (pos < kLenOffset) {
+      // kind / sender / incarnation / seq / epoch: caught by the kind
+      // range check or the whole-envelope checksum.
+      want = FrameFault::kCorruptBody;
+    } else if (pos < cluster::kEnvelopeHeaderSize) {
+      // payload_len: growing the declared length claims bytes that
+      // never arrived (a short read); shrinking it leaves trailing
+      // junk past the checksum (framing corruption).
+      const uint64_t shift = 8 * (pos - kLenOffset) + bit;
+      const bool grew = shift < 64 && !((declared_len >> shift) & 1);
+      want = grew ? FrameFault::kTruncated : FrameFault::kCorruptBody;
+    } else {
+      // Payload or trailing checksum: checksum mismatch.
+      want = FrameFault::kCorruptBody;
+      static_cast<void>(checksum_pos);
+    }
+    expect_fault(bad, want, "bit flip", pos);
+  }
+
+  // Fail CLOSED: after the whole sweep the aggregator's merged state is
+  // byte-identical and every hostile input was counted, per cause.
+  EXPECT_EQ(victim.SnapshotFrame(), before);
+  EXPECT_EQ(victim.rejects().envelope_rejected(), hostile_inputs);
+  EXPECT_EQ(victim.rejects().payload_rejected, 0u);
+
+  // The intact frame still decodes and applies.
+  cluster::EnvelopeView view;
+  ASSERT_EQ(cluster::DecodeEnvelope(frame, &view), FrameFault::kNone);
+  EXPECT_EQ(view.payload, payload);
+  EXPECT_EQ(victim.Receive(frame).kind,
+            cluster::ReceiveOutcome::Kind::kApplied);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

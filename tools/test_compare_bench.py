@@ -28,13 +28,15 @@ def run_tool(args):
         [sys.executable, TOOL] + args, capture_output=True, text=True)
 
 
-def write_bench_json(path, name_to_items_per_second):
+def write_bench_json(path, name_to_items_per_second, context=None):
     doc = {
         "benchmarks": [
             {"name": name, "run_type": "iteration", "items_per_second": v}
             for name, v in name_to_items_per_second.items()
         ]
     }
+    if context is not None:
+        doc["context"] = context
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f)
 
@@ -86,6 +88,44 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("baseline-only", result.stdout)
         self.assertIn("new", result.stdout)
+
+    def test_mismatched_fault_profile_is_an_input_error(self):
+        # Two BENCH_cluster.json runs measured under different chaos
+        # profiles are different experiments: the comparison must refuse
+        # (exit 2, like malformed input), never report a ratio.
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(
+            base, {"BM_ClusterChaosFlat": 100.0},
+            context={"ats_cluster_fault_profile": "drop=0.05,dup=0.02"})
+        write_bench_json(
+            cur, {"BM_ClusterChaosFlat": 500.0},
+            context={"ats_cluster_fault_profile": "drop=0.00,dup=0.00"})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("ats_cluster_fault_profile", result.stderr)
+        self.assertIn("different workloads", result.stderr)
+
+    def test_matching_fault_profile_compares_normally(self):
+        profile = {"ats_cluster_fault_profile": "drop=0.05,dup=0.02"}
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_ClusterChaosFlat": 100.0},
+                         context=profile)
+        write_bench_json(cur, {"BM_ClusterChaosFlat": 60.0},
+                         context=profile)  # -40%: a real regression
+        result = run_tool([base, cur, "--max-regression", "0.15"])
+        self.assertEqual(result.returncode, 1)
+
+    def test_fault_profile_in_only_one_file_is_comparable(self):
+        # A suite that gained the identity key since the base revision
+        # (or a non-cluster suite with no such key at all) compares
+        # normally.
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_X": 100.0})
+        write_bench_json(
+            cur, {"BM_X": 100.0},
+            context={"ats_cluster_fault_profile": "drop=0.05"})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 0, result.stderr)
 
     def test_malformed_input_is_an_input_error(self):
         base, cur = self.path("base.json"), self.path("cur.json")
