@@ -1,0 +1,152 @@
+// Persistence-tier benchmarks (google-benchmark): what durability
+// costs and what the mmap open path buys.
+//
+//   ./build/bench/bench_persist
+//   ./build/bench/bench_persist --json=BENCH_persist.json
+//
+// Three questions, one benchmark family each:
+//   * BM_CheckpointWrite/<keys> -- the full atomic write-rename cycle
+//     (encode + write + fsync + rename) against the sketch's state
+//     size; checkpoint_bytes counts the file size. This is the cost an
+//     AgentNode pays at each checkpoint cadence.
+//   * BM_CheckpointOpenView vs BM_CheckpointOpenEager -- the zero-copy
+//     mmap + DeserializeView open against a buffered read + eager
+//     Deserialize of the same file: the read-side saving of shipping
+//     the view parsers through the persistence tier.
+//   * BM_CrashRecovery/<tail> -- restore-from-checkpoint plus replay of
+//     a `tail`-key log suffix: how recovery time scales with the log
+//     tail an AgentNode's checkpoint cadence leaves unabsorbed.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json_main.h"
+
+#include "ats/core/random.h"
+#include "ats/persist/checkpoint.h"
+#include "ats/sketch/kmv.h"
+
+namespace ats::persist {
+namespace {
+
+constexpr size_t kSketchK = 4096;
+constexpr uint64_t kSalt = 0x5eed;
+
+std::string BenchPath(const char* name) {
+  return std::string("/tmp/ats_bench_persist_") + name + ".ckp";
+}
+
+KmvSketch SketchOver(uint64_t keys) {
+  KmvSketch sketch(kSketchK, 1.0, kSalt);
+  Xoshiro256 rng(7);
+  for (uint64_t i = 0; i < keys; ++i) sketch.AddKey(rng.Next());
+  return sketch;
+}
+
+// Checkpoint write cost vs state size: the sketch saturates at k
+// retained entries, so the file size plateaus while the covered epoch
+// keeps growing -- the flat right edge IS the bounded-checkpoint claim.
+void BM_CheckpointWrite(benchmark::State& state) {
+  const uint64_t keys = static_cast<uint64_t>(state.range(0));
+  const KmvSketch sketch = SketchOver(keys);
+  const std::string payload = sketch.SerializeToString();
+  const std::string path = BenchPath("write");
+  for (auto _ : state) {
+    const CheckpointFault fault =
+        CheckpointWriter::Write(path, SchemeKind::kKmv, keys, payload);
+    if (fault != CheckpointFault::kNone) state.SkipWithError("write failed");
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["checkpoint_bytes"] = benchmark::Counter(
+      static_cast<double>(payload.size() + kCheckpointOverhead));
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+// The zero-copy read path: mmap + validate + DeserializeView. Nothing
+// is materialized; the work is the header/checksum validation plus the
+// view parser's bounds checks.
+void BM_CheckpointOpenView(benchmark::State& state) {
+  const uint64_t keys = static_cast<uint64_t>(state.range(0));
+  const std::string path = BenchPath("open_view");
+  CheckpointWriter::Write(path, SchemeKind::kKmv, keys,
+                          SketchOver(keys).SerializeToString());
+  double sink = 0.0;
+  for (auto _ : state) {
+    CheckpointReader reader;
+    if (CheckpointReader::OpenView(path, &reader) != CheckpointFault::kNone) {
+      state.SkipWithError("open failed");
+      break;
+    }
+    const auto view = KmvSketch::DeserializeView(reader.payload());
+    sink += static_cast<double>(view ? view->size() : 0);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointOpenView)->Arg(1 << 14)->Arg(1 << 18);
+
+// The eager alternative: buffered read + whole-frame Deserialize into
+// an owned sketch. The gap to BM_CheckpointOpenView is the open-path
+// saving the issue's mmap requirement exists to collect.
+void BM_CheckpointOpenEager(benchmark::State& state) {
+  const uint64_t keys = static_cast<uint64_t>(state.range(0));
+  const std::string path = BenchPath("open_eager");
+  CheckpointWriter::Write(path, SchemeKind::kKmv, keys,
+                          SketchOver(keys).SerializeToString());
+  double sink = 0.0;
+  for (auto _ : state) {
+    KmvSketch restored(1, 1.0, 0);
+    if (RestoreFromCheckpoint(path, SchemeKind::kKmv, &restored, nullptr,
+                              OpenMode::kBuffered) != CheckpointFault::kNone) {
+      state.SkipWithError("restore failed");
+      break;
+    }
+    sink += static_cast<double>(restored.size());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointOpenEager)->Arg(1 << 14)->Arg(1 << 18);
+
+// Recovery time vs log-tail length: restore the checkpoint, then
+// replay `tail` keys -- exactly AgentNode::MaybeRestart's work. The
+// checkpoint covers 2^18 keys; the tail is what the checkpoint cadence
+// left in the durable log.
+void BM_CrashRecovery(benchmark::State& state) {
+  const uint64_t covered = 1 << 18;
+  const uint64_t tail = static_cast<uint64_t>(state.range(0));
+  const std::string path = BenchPath("recovery");
+  CheckpointWriter::Write(path, SchemeKind::kKmv, covered,
+                          SketchOver(covered).SerializeToString());
+  // The unabsorbed log suffix (stream positions covered..covered+tail).
+  Xoshiro256 rng(7);
+  for (uint64_t i = 0; i < covered; ++i) rng.Next();
+  std::vector<uint64_t> log(tail);
+  for (auto& k : log) k = rng.Next();
+
+  for (auto _ : state) {
+    KmvSketch restored(1, 1.0, 0);
+    if (RestoreFromCheckpoint(path, SchemeKind::kKmv, &restored) !=
+        CheckpointFault::kNone) {
+      state.SkipWithError("restore failed");
+      break;
+    }
+    restored.AddKeys(log);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tail == 0 ? 1 : tail));
+  state.counters["replayed_keys"] =
+      benchmark::Counter(static_cast<double>(tail));
+}
+BENCHMARK(BM_CrashRecovery)->Arg(0)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace ats::persist
+
+int main(int argc, char** argv) {
+  return ats::RunBenchmarksWithJsonFlag(argc, argv, "BENCH_persist.json");
+}

@@ -33,7 +33,7 @@ then
 fi
 cmake --build "$BUILD_DIR" -j \
       --target bench_throughput bench_sharded bench_merge bench_window \
-               bench_concurrent bench_simd bench_cluster
+               bench_concurrent bench_simd bench_cluster bench_persist
 
 "$BUILD_DIR/bench/bench_throughput" \
     --json="$REPO_ROOT/BENCH_throughput.json" \
@@ -56,6 +56,9 @@ cmake --build "$BUILD_DIR" -j \
 "$BUILD_DIR/bench/bench_cluster" \
     --json="$REPO_ROOT/BENCH_cluster.json" \
     --benchmark_min_time=0.1
+"$BUILD_DIR/bench/bench_persist" \
+    --json="$REPO_ROOT/BENCH_persist.json" \
+    --benchmark_min_time=0.1
 
 for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_sharded.json" \
@@ -63,7 +66,8 @@ for out in "$REPO_ROOT/BENCH_throughput.json" \
            "$REPO_ROOT/BENCH_window.json" \
            "$REPO_ROOT/BENCH_concurrent.json" \
            "$REPO_ROOT/BENCH_simd.json" \
-           "$REPO_ROOT/BENCH_cluster.json"
+           "$REPO_ROOT/BENCH_cluster.json" \
+           "$REPO_ROOT/BENCH_persist.json"
 do
   if ! grep -q '"ats_build_type": "release"' "$out"; then
     echo "error: $out does not record ats_build_type=release" >&2
@@ -103,4 +107,5 @@ fi
 echo "Wrote $REPO_ROOT/BENCH_throughput.json," \
      "$REPO_ROOT/BENCH_sharded.json, $REPO_ROOT/BENCH_merge.json," \
      "$REPO_ROOT/BENCH_window.json, $REPO_ROOT/BENCH_concurrent.json," \
-     "$REPO_ROOT/BENCH_simd.json and $REPO_ROOT/BENCH_cluster.json"
+     "$REPO_ROOT/BENCH_simd.json, $REPO_ROOT/BENCH_cluster.json and" \
+     "$REPO_ROOT/BENCH_persist.json"

@@ -23,9 +23,17 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
   ATS_CHECK(config.snapshot_every >= 1);
 
   agents_.reserve(config.num_agents);
+  history_.resize(config.num_agents);
+  const bool checkpoints = config.checkpoint_every_epochs > 0 &&
+                           !config.checkpoint_dir.empty();
   for (uint64_t id = 0; id < config.num_agents; ++id) {
     agents_.push_back(std::make_unique<AgentNode>(
         id, config.k, config.hash_salt, config.retry));
+    if (checkpoints) {
+      agents_.back()->ConfigureCheckpoint(
+          {config.checkpoint_dir + "/agent_" + std::to_string(id) + ".ckp",
+           config.checkpoint_every_epochs, config.checkpoint_prefer_mmap});
+    }
     switch (config.workload) {
       case ClusterConfig::Workload::kZipf:
         zipf_.push_back(std::make_unique<ZipfGenerator>(
@@ -96,6 +104,7 @@ void ClusterSim::IngestTick() {
       }
     }
     agents_[id]->Ingest(keys);
+    history_[id].insert(history_[id].end(), keys.begin(), keys.end());
   }
 }
 
@@ -134,6 +143,9 @@ void ClusterSim::Dispatch(const Delivery& delivery) {
 void ClusterSim::EmitTick() {
   for (auto& agent : agents_) {
     agent->EmitSnapshotIfAdvanced(now_);
+    // Checkpoints ride the same cadence: the snapshot the parent gets
+    // and the one the disk gets cover the same stream position.
+    agent->MaybeCheckpoint();
     // Naive re-ship baseline: a protocol with no acks, no change
     // detection, and no supersession ships every live node's (agents
     // AND interior relays) full snapshot at every cadence point, for as
@@ -204,6 +216,10 @@ ClusterMetrics ClusterSim::Metrics() const {
     m.superseded_cancelled += agent->outbox().superseded_cancelled();
     m.superseded_bytes_saved += agent->outbox().superseded_bytes_saved();
     m.agent_crashes += agent->crashes();
+    m.checkpoints_written += agent->checkpoints_written();
+    m.checkpoint_write_failures += agent->checkpoint_write_failures();
+    m.checkpoint_restores += agent->checkpoint_restores();
+    m.checkpoint_restore_failures += agent->checkpoint_restore_failures();
   }
   for (size_t i = 0; i + 1 < aggregators_.size(); ++i) {
     const FrameOutbox& box = aggregators_[i]->outbox();
@@ -214,7 +230,15 @@ ClusterMetrics ClusterSim::Metrics() const {
   }
   m.naive_reship_bytes = naive_reship_bytes_;
   m.ticks = now_;
+  m.node_memory_bytes = NodeMemoryFootprint();
   return m;
+}
+
+size_t ClusterSim::NodeMemoryFootprint() const {
+  size_t total = 0;
+  for (const auto& agent : agents_) total += agent->MemoryFootprint();
+  for (const auto& agg : aggregators_) total += agg->MemoryFootprint();
+  return total;
 }
 
 std::string ClusterSim::FaultFreeRootFrame() const {
@@ -222,7 +246,7 @@ std::string ClusterSim::FaultFreeRootFrame() const {
   frames.reserve(agents_.size());
   for (const auto& agent : agents_) {
     KmvSketch sketch(config_.k, 1.0, config_.hash_salt);
-    sketch.AddKeys(agent->log());
+    sketch.AddKeys(history_[agent->id()]);
     frames.push_back(sketch.SerializeToString());
   }
   std::vector<std::string_view> views(frames.begin(), frames.end());
@@ -233,8 +257,8 @@ std::string ClusterSim::FaultFreeRootFrame() const {
 
 uint64_t ClusterSim::ExactDistinctTotal() const {
   std::unordered_set<uint64_t> distinct;
-  for (const auto& agent : agents_) {
-    distinct.insert(agent->log().begin(), agent->log().end());
+  for (const auto& history : history_) {
+    distinct.insert(history.begin(), history.end());
   }
   return distinct.size();
 }
@@ -243,9 +267,9 @@ uint64_t ClusterSim::ExactDistinctApplied() const {
   std::unordered_set<uint64_t> distinct;
   for (const auto& agent : agents_) {
     const uint64_t applied = root().AppliedEpoch(agent->id());
-    const auto& log = agent->log();
-    ATS_CHECK(applied <= log.size());
-    distinct.insert(log.begin(), log.begin() + applied);
+    const auto& history = history_[agent->id()];
+    ATS_CHECK(applied <= history.size());
+    distinct.insert(history.begin(), history.begin() + applied);
   }
   return distinct.size();
 }

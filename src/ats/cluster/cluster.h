@@ -68,6 +68,16 @@ struct ClusterConfig {
   double agent_crash_rate = 0.0;
   uint64_t crash_down_ticks = 8;
 
+  // Durable checkpointing (persist/checkpoint.h): when every_epochs > 0
+  // and a directory is given, each agent checkpoints its sketch on the
+  // snapshot cadence once that many keys accumulated since the last
+  // durable checkpoint, truncating its replay log to the uncovered
+  // suffix; restarts then restore-and-replay the bounded tail. The
+  // directory must exist and be writable; one file per agent.
+  uint64_t checkpoint_every_epochs = 0;
+  std::string checkpoint_dir;
+  bool checkpoint_prefer_mmap = true;
+
   // Drain-phase safety valve for RunUntilQuiescent.
   uint64_t max_ticks = 1 << 16;
 };
@@ -88,6 +98,14 @@ struct ClusterMetrics {
   uint64_t naive_reship_bytes = 0;
   uint64_t agent_crashes = 0;
   uint64_t ticks = 0;
+  // Persistence-tier accounting (zero when checkpointing is disabled).
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_write_failures = 0;
+  uint64_t checkpoint_restores = 0;
+  uint64_t checkpoint_restore_failures = 0;
+  // Live heap bytes across every node (agents + aggregators), per the
+  // MemoryFootprint convention (util/memory.h).
+  uint64_t node_memory_bytes = 0;
 };
 
 class ClusterSim {
@@ -123,18 +141,31 @@ class ClusterSim {
   // ------------------------------ ground truth ------------------------
 
   // The fault-free reference: a flat MergeManyFrames over every agent's
-  // full-log sketch, serialized. Chaos runs must converge the root to
-  // these bytes exactly.
+  // full-history sketch, serialized. Chaos runs must converge the root
+  // to these bytes exactly. Computed from the sim's shadow history, not
+  // the agents' replay logs: with checkpointing enabled the logs are
+  // truncated tails, while the reference needs the whole stream.
   std::string FaultFreeRootFrame() const;
 
-  // Exact distinct count over every agent's full log.
+  // Exact distinct count over every agent's full key history.
   uint64_t ExactDistinctTotal() const;
 
-  // Exact distinct count over the log PREFIXES the root has applied
-  // (log[0, applied_epoch) per agent) -- the coverage of the root's
+  // Exact distinct count over the history PREFIXES the root has applied
+  // (history[0, applied_epoch) per agent) -- the coverage of the root's
   // current answer. Meaningful for the flat topology, where root epochs
-  // are per-agent log offsets.
+  // are per-agent stream offsets.
   uint64_t ExactDistinctApplied() const;
+
+  // Every key agent `id` ever ingested, in order (the sim-side shadow
+  // of the agents' -- possibly truncated -- replay logs; ground truth
+  // for the checkpointed chaos assertions).
+  const std::vector<uint64_t>& History(uint64_t id) const {
+    return history_[id];
+  }
+
+  // Live heap bytes across every node, per util/memory.h. Excludes the
+  // sim's own bookkeeping (shadow history, workload generators).
+  size_t NodeMemoryFootprint() const;
 
  private:
   void IngestTick();
@@ -158,6 +189,11 @@ class ClusterSim {
   std::vector<std::unique_ptr<PitmanYorStream>> pitman_yor_;
   std::vector<Xoshiro256> uniform_rng_;
   uint64_t naive_reship_bytes_ = 0;
+  // Shadow of every agent's full key stream (appended in lockstep with
+  // Ingest, which records keys even while the agent is down). The
+  // ground-truth queries read this so they stay exact after the agents'
+  // replay logs are truncated by checkpoints.
+  std::vector<std::vector<uint64_t>> history_;
 };
 
 }  // namespace ats::cluster

@@ -104,6 +104,29 @@ void AgentNode::Receive(std::string_view bytes) {
   if (view.kind == EnvelopeKind::kAck) outbox_.HandleAck(view);
 }
 
+void AgentNode::MaybeCheckpoint() {
+  if (down_ || !checkpoint_policy_.enabled()) return;
+  if (epochs_since_checkpoint() < checkpoint_policy_.every_epochs) return;
+  const std::string payload = sketch_.SerializeToString();
+  if (persist::CheckpointWriter::Write(checkpoint_policy_.path,
+                                       persist::SchemeKind::kKmv, epoch(),
+                                       payload) !=
+      persist::CheckpointFault::kNone) {
+    // Durability is unchanged: the previous checkpoint (if any) and the
+    // full replay log both survive, so recovery still works -- it just
+    // replays a longer tail.
+    ++checkpoint_write_failures_;
+    return;
+  }
+  ++checkpoints_written_;
+  checkpoint_epoch_ = epoch();
+  // The durable file now covers every logged key: the replay log only
+  // needs the (empty) suffix past it. This truncation is what bounds
+  // log_ growth and the replay work a restart performs.
+  log_base_ = epoch();
+  log_.clear();
+}
+
 void AgentNode::Crash(uint64_t now, uint64_t down_ticks) {
   if (down_) return;
   down_ = true;
@@ -118,9 +141,38 @@ void AgentNode::MaybeRestart(uint64_t now) {
   if (!down_ || now < restart_at_) return;
   down_ = false;
   outbox_.Reset(outbox_.incarnation() + 1);
-  // Replay the durable log: KMV state is a pure function of the key
-  // sequence, so the rebuilt sketch is bit-identical to the lost one.
-  sketch_.AddKeys(log_);
+  // Recovery: restore the durable checkpoint when one is configured and
+  // every validation layer passes, then replay only the bounded log
+  // suffix past its epoch. The rebuilt sketch is bit-identical to the
+  // lost one either way -- KMV state is a pure function of the key
+  // sequence, and the checkpoint is the (canonically serialized) sketch
+  // of the stream prefix it covers.
+  size_t replay_from = 0;  // offset into log_
+  if (checkpoint_policy_.enabled()) {
+    KmvSketch restored(k_, 1.0, hash_salt_);
+    uint64_t restored_epoch = 0;
+    const persist::CheckpointFault fault = persist::RestoreFromCheckpoint(
+        checkpoint_policy_.path, persist::SchemeKind::kKmv, &restored,
+        &restored_epoch,
+        checkpoint_policy_.prefer_mmap ? persist::OpenMode::kPreferMmap
+                                       : persist::OpenMode::kBuffered);
+    const bool consistent = fault == persist::CheckpointFault::kNone &&
+                            restored.k() == k_ &&
+                            restored.hash_salt() == hash_salt_ &&
+                            restored_epoch >= log_base_ &&
+                            restored_epoch <= epoch();
+    if (consistent) {
+      sketch_ = std::move(restored);
+      replay_from = restored_epoch - log_base_;
+      ++checkpoint_restores_;
+    } else {
+      // Fail closed: ignore the bad file entirely and replay the whole
+      // remaining durable log onto the fresh sketch Crash() installed.
+      last_restore_fault_ = fault;
+      ++checkpoint_restore_failures_;
+    }
+  }
+  sketch_.AddKeys(std::span<const uint64_t>(log_).subspan(replay_from));
 }
 
 // ------------------------------------------------------------ aggregator

@@ -53,7 +53,9 @@
 #include <vector>
 
 #include "ats/cluster/envelope.h"
+#include "ats/persist/checkpoint.h"
 #include "ats/sketch/kmv.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats::cluster {
@@ -64,6 +66,21 @@ namespace ats::cluster {
 struct RetryPolicy {
   uint64_t initial_backoff_ticks = 4;
   uint64_t max_backoff_ticks = 64;
+};
+
+// Durable checkpoint cadence for an agent (persist/checkpoint.h). When
+// configured, the agent atomically rewrites `path` with its cumulative
+// sketch once at least `every_epochs` keys accumulated since the last
+// durable checkpoint, then truncates its replay log to the uncovered
+// suffix -- which is what bounds both the log's memory and the replay
+// work a restart performs. An empty path or every_epochs == 0 disables
+// checkpointing (the agent falls back to the unbounded full-log replay).
+struct CheckpointPolicy {
+  std::string path;
+  uint64_t every_epochs = 0;
+  bool prefer_mmap = true;  // restore through the zero-copy open path
+
+  bool enabled() const { return every_epochs > 0 && !path.empty(); }
 };
 
 // Per-cause rejection counters (FrameFault-keyed) plus the idempotent
@@ -121,6 +138,14 @@ class FrameOutbox {
   uint64_t superseded_cancelled() const { return superseded_cancelled_; }
   uint64_t superseded_bytes_saved() const { return superseded_bytes_saved_; }
 
+  // Live heap bytes of the unacked entries (util/memory.h convention):
+  // the pending map's modeled nodes plus each entry's envelope bytes.
+  size_t MemoryFootprint() const {
+    size_t total = TreeFootprint(pending_);
+    for (const auto& [seq, p] : pending_) total += p.bytes.size();
+    return total;
+  }
+
  private:
   struct Pending {
     std::string bytes;  // full envelope, ready to retransmit verbatim
@@ -176,16 +201,32 @@ struct ReceiveOutcome {
   std::string ack_bytes;
 };
 
-// The local sampling node: durable key log + KMV sketch + outbox.
+// The local sampling node: durable key log + KMV sketch + outbox, plus
+// (when configured) cadence checkpointing of the sketch so recovery
+// replays a bounded log tail instead of the full history.
 class AgentNode {
  public:
   AgentNode(uint64_t id, size_t k, uint64_t hash_salt,
             const RetryPolicy& policy);
 
+  // Enables checkpoint-on-cadence + restart-from-checkpoint. Call once,
+  // before any checkpoint could be due; the path must be writable.
+  void ConfigureCheckpoint(CheckpointPolicy policy) {
+    checkpoint_policy_ = std::move(policy);
+  }
+
   // Appends keys to the durable log; sketches them unless crashed
   // (the log models the upstream ingest pipeline, which outlives the
   // process -- restart replays it).
   void Ingest(std::span<const uint64_t> keys);
+
+  // Checkpoint-on-cadence: when configured, up, and at least
+  // `every_epochs` keys past the last durable checkpoint, atomically
+  // rewrites the checkpoint file with the cumulative sketch at the
+  // current epoch and truncates the replay log to empty (the checkpoint
+  // now covers every logged key). A write failure leaves the log -- and
+  // therefore durability -- unchanged, and is only counted.
+  void MaybeCheckpoint();
 
   // Serializes the cumulative snapshot into the outbox if the stream
   // advanced since the last emission (no-op while down or idle).
@@ -201,16 +242,26 @@ class AgentNode {
 
   // Fault injection: the process dies, losing sketch + outbox.
   void Crash(uint64_t now, uint64_t down_ticks);
-  // Restarts once the outage elapses: replays the durable log into a
-  // fresh sketch (bit-identical to the lost one -- KMV state is a pure
-  // function of the key sequence) under a bumped incarnation.
+  // Restarts once the outage elapses, under a bumped incarnation.
+  // With a configured checkpoint: restore the last durable checkpoint
+  // (through the mmap or buffered open path per the policy), then
+  // replay only the log suffix past its epoch. Any checkpoint fault --
+  // torn file, flipped byte, wrong family, missing file -- fails closed
+  // to a full replay of the remaining durable log. Both paths rebuild
+  // state bit-identical to the lost sketch: KMV state is a pure
+  // function of the key sequence, and the checkpoint IS the sketch of
+  // the truncated prefix.
   void MaybeRestart(uint64_t now);
 
   bool down() const { return down_; }
   uint64_t id() const { return id_; }
-  // Stream position: keys ingested so far (epochs are log offsets).
-  uint64_t epoch() const { return log_.size(); }
+  // Stream position: keys ingested so far. Epochs remain GLOBAL log
+  // offsets after truncation: log_ holds [log_base_, epoch()).
+  uint64_t epoch() const { return log_base_ + log_.size(); }
   const std::vector<uint64_t>& log() const { return log_; }
+  // First stream position still present in the replay log == the epoch
+  // the on-disk checkpoint covers (0 before any checkpoint).
+  uint64_t log_base() const { return log_base_; }
   const KmvSketch& sketch() const { return sketch_; }
   const FrameOutbox& outbox() const { return outbox_; }
   uint64_t last_emitted_epoch() const { return last_emitted_epoch_; }
@@ -219,6 +270,39 @@ class AgentNode {
     return down_ || !outbox_.empty() || last_emitted_epoch_ < epoch();
   }
   uint64_t crashes() const { return crashes_; }
+
+  // --- Checkpoint observability --------------------------------------
+
+  const CheckpointPolicy& checkpoint_policy() const {
+    return checkpoint_policy_;
+  }
+  // Keys ingested since the last durable checkpoint: the replay-tail
+  // bound a crash right now would pay.
+  uint64_t epochs_since_checkpoint() const {
+    return epoch() - checkpoint_epoch_;
+  }
+  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t checkpoint_write_failures() const {
+    return checkpoint_write_failures_;
+  }
+  uint64_t checkpoint_restores() const { return checkpoint_restores_; }
+  uint64_t checkpoint_restore_failures() const {
+    return checkpoint_restore_failures_;
+  }
+  // Typed reason of the most recent failed restore (kNone when every
+  // restore so far succeeded).
+  persist::CheckpointFault last_restore_fault() const {
+    return last_restore_fault_;
+  }
+
+  // Live heap bytes of the node (util/memory.h convention): sketch,
+  // replay log, and unacked outbox entries. Visibly drops when a
+  // checkpoint truncates the log.
+  size_t MemoryFootprint() const {
+    return sketch_.MemoryFootprint() + VectorFootprint(log_) +
+           outbox_.MemoryFootprint();
+  }
 
  private:
   uint64_t id_;
@@ -231,6 +315,20 @@ class AgentNode {
   bool down_ = false;
   uint64_t restart_at_ = 0;
   uint64_t crashes_ = 0;
+  // Checkpoint state: log_ holds stream positions [log_base_, epoch());
+  // everything before log_base_ lives only in the durable checkpoint
+  // file, whose covered epoch is checkpoint_epoch_ (== log_base_ except
+  // transiently never: truncation happens in the same step as the
+  // successful write).
+  CheckpointPolicy checkpoint_policy_;
+  uint64_t log_base_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t checkpoint_write_failures_ = 0;
+  uint64_t checkpoint_restores_ = 0;
+  uint64_t checkpoint_restore_failures_ = 0;
+  persist::CheckpointFault last_restore_fault_ =
+      persist::CheckpointFault::kNone;
 };
 
 // The merge node: validates, dedups, and transactionally applies child
@@ -280,6 +378,17 @@ class AggregatorNode {
   }
   // Applied epoch for one child (0 if never heard from).
   uint64_t AppliedEpoch(uint64_t child_id) const;
+
+  // Live heap bytes of the node (util/memory.h convention): merged
+  // sketch, per-child dedup state, and unacked outbox entries.
+  size_t MemoryFootprint() const {
+    size_t total = merged_.MemoryFootprint() + TreeFootprint(children_) +
+                   outbox_.MemoryFootprint();
+    for (const auto& [id, child] : children_) {
+      total += TreeFootprint(child.seen);
+    }
+    return total;
+  }
 
  private:
   struct ChildState {

@@ -92,6 +92,10 @@ class BottomK {
   size_t k() const { return store_.k(); }
   bool saturated() const { return store_.saturated(); }
 
+  // Live heap bytes of the sample state (util/memory.h convention):
+  // exactly the store's SoA columns. O(1), non-canonicalizing.
+  size_t MemoryFootprint() const { return store_.MemoryFootprint(); }
+
   // Retained entries in unspecified order, materialized from the store's
   // canonical columns.
   std::vector<Entry> entries() const {
@@ -393,6 +397,10 @@ class PrioritySampler {
   double Threshold() const { return sketch_.Threshold(); }
 
   size_t size() const { return sketch_.size(); }
+
+  // Live heap bytes of the sample state (util/memory.h convention);
+  // excludes the reusable AddBatch scratch column.
+  size_t MemoryFootprint() const { return sketch_.MemoryFootprint(); }
 
   // Sample entries (with per-item inclusion probabilities) for estimators.
   std::vector<SampleEntry> Sample() const;

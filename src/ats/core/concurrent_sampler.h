@@ -205,6 +205,25 @@ class ConcurrentSampler {
   size_t num_shards() const { return shards_.size(); }
   const Config& config() const { return config_; }
 
+  /// Live heap bytes across the shard slots plus the currently published
+  /// snapshot (util/memory.h convention). Takes each shard's lock in
+  /// turn -- like TotalRetained, the total is a sum of per-shard
+  /// instants, not one global instant. Thread-safe like every other
+  /// public method.
+  size_t MemoryFootprint() const {
+    size_t total = shards_.size() * sizeof(ShardSlot);
+    for (const auto& slot : shards_) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      total += slot->sampler.MemoryFootprint();
+    }
+    const auto state = snapshot_.load(std::memory_order_acquire);
+    if (state != nullptr) {
+      total += state->merged.MemoryFootprint() +
+               state->epochs.size() * sizeof(uint64_t);
+    }
+    return total;
+  }
+
  private:
   /// One shard behind its stripe lock. Heap-allocated (stable address,
   /// std::mutex is immovable) and cache-line aligned so two shards'
@@ -447,6 +466,11 @@ class ConcurrentPrioritySampler {
   /// Items retained across shards (per-shard instants). Thread-safe.
   size_t TotalRetained() const;
 
+  /// Live heap bytes across shards plus the published snapshot, per
+  /// util/memory.h. Thread-safe (sum of per-shard instants, like
+  /// TotalRetained).
+  size_t MemoryFootprint() const { return core_.MemoryFootprint(); }
+
   size_t num_shards() const { return core_.num_shards(); }
   size_t k() const { return core_.config().k; }
 
@@ -490,6 +514,11 @@ class ConcurrentKmvSketch {
 
   /// Retained priorities across shards (>= MergedSize). Thread-safe.
   size_t TotalRetained() const;
+
+  /// Live heap bytes across shards plus the published snapshot, per
+  /// util/memory.h. Thread-safe (sum of per-shard instants, like
+  /// TotalRetained).
+  size_t MemoryFootprint() const { return core_.MemoryFootprint(); }
 
   size_t num_shards() const { return core_.num_shards(); }
   size_t k() const { return core_.config().k; }
@@ -554,6 +583,11 @@ class ConcurrentWindowSampler {
   /// copying (queries advance expiry). Thread-safe.
   std::shared_ptr<const SlidingWindowSampler> Snapshot() const;
 
+  /// Live heap bytes across shards plus the published snapshot, per
+  /// util/memory.h. Thread-safe (sum of per-shard instants, like
+  /// TotalRetained).
+  size_t MemoryFootprint() const { return core_.MemoryFootprint(); }
+
   size_t num_shards() const { return core_.num_shards(); }
   size_t k() const { return core_.config().k; }
   double window() const { return core_.config().window; }
@@ -606,6 +640,11 @@ class ConcurrentDecaySampler {
 
   /// Items retained across shards (per-shard instants). Thread-safe.
   size_t TotalRetained() const;
+
+  /// Live heap bytes across shards plus the published snapshot, per
+  /// util/memory.h. Thread-safe (sum of per-shard instants, like
+  /// TotalRetained).
+  size_t MemoryFootprint() const { return core_.MemoryFootprint(); }
 
   size_t num_shards() const { return core_.num_shards(); }
   size_t k() const { return core_.config().k; }

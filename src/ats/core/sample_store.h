@@ -317,6 +317,17 @@ class SampleStore {
   /// O(1); monitoring / memory-heuristic use only.
   size_t BufferedSize() const { return priority_.size(); }
 
+  /// Live heap bytes of the SoA columns -- EXACT per buffered entry:
+  /// BufferedSize() * (sizeof(double) + sizeof(Payload)). O(1) and
+  /// non-canonicalizing (never compacts), so it is safe on any path and
+  /// visibly grows with the candidate buffer and drops at compaction.
+  /// Excludes allocator slack and the reusable compaction scratch, per
+  /// the convention in util/memory.h.
+  size_t MemoryFootprint() const {
+    return priority_.size() * sizeof(double) +
+           payload_.size() * sizeof(Payload);
+  }
+
   size_t k() const { return k_; }
   double initial_threshold() const { return initial_threshold_; }
 

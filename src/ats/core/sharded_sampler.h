@@ -46,6 +46,7 @@
 
 #include "ats/core/bottom_k.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -107,6 +108,18 @@ class ShardedSampler {
   /// Total items currently retained across all shards (>= merged sample
   /// size; the merge re-caps at k).
   size_t TotalRetained() const;
+
+  /// Live heap bytes across the shards plus the engaged merge cache
+  /// (util/memory.h convention); excludes the reusable batch scratch.
+  /// O(S), non-canonicalizing -- never rebuilds the cache.
+  size_t MemoryFootprint() const {
+    size_t total = VectorFootprint(shards_);
+    for (const PrioritySampler& s : shards_) total += s.MemoryFootprint();
+    if (merged_cache_.has_value()) {
+      total += merged_cache_->MemoryFootprint();
+    }
+    return total + VectorFootprint(merged_epochs_);
+  }
 
   const PrioritySampler& shard(size_t i) const { return shards_[i]; }
 

@@ -20,6 +20,7 @@
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -68,6 +69,10 @@ class BudgetSampler {
   double UsedBudget() const { return used_; }
 
   size_t size() const { return items_.size(); }
+
+  // Live heap bytes of the retained multiset, modeled per
+  // util/memory.h; excludes the reusable AddBatch scratch column.
+  size_t MemoryFootprint() const { return TreeFootprint(items_); }
   double budget() const { return budget_; }
 
   // Sample entries for HT estimation. Weighted items carry

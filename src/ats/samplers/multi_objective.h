@@ -19,6 +19,7 @@
 #include "ats/core/bottom_k.h"
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -49,6 +50,14 @@ class MultiObjectiveSampler {
   std::vector<SampleEntry> Sample(size_t objective) const;
 
   size_t num_objectives() const { return sketches_.size(); }
+
+  // Live heap bytes across the per-objective sketches (util/memory.h
+  // convention): the sketch shells plus each store's columns.
+  size_t MemoryFootprint() const {
+    size_t total = VectorFootprint(sketches_);
+    for (const auto& sketch : sketches_) total += sketch.MemoryFootprint();
+    return total;
+  }
 
  private:
   struct Stored {

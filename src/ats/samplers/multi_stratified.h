@@ -24,6 +24,7 @@
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -45,6 +46,20 @@ class MultiStratifiedSampler {
 
   // Number of distinct retained items.
   size_t size() const { return items_.size(); }
+
+  // Live heap bytes (util/memory.h convention): the item table and
+  // stratum map shells plus each item's strata-key column and each
+  // stratum's member set. O(items + strata).
+  size_t MemoryFootprint() const {
+    size_t total = HashFootprint(items_) + TreeFootprint(strata_);
+    for (const auto& [key, item] : items_) {
+      total += VectorFootprint(item.strata);
+    }
+    for (const auto& [id, stratum] : strata_) {
+      total += TreeFootprint(stratum.members);
+    }
+    return total;
+  }
 
   // Current threshold of a stratum (+infinity while underfull).
   double StratumThreshold(size_t dimension, uint64_t stratum) const;

@@ -38,6 +38,7 @@
 #include "ats/core/threshold.h"
 #include "ats/samplers/sliding_window.h"
 #include "ats/samplers/time_decay.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -71,6 +72,17 @@ class ShardedWindowSampler {
   size_t k() const { return k_; }
   double window() const { return window_; }
   const SlidingWindowSampler& shard(size_t i) const { return shards_[i]; }
+
+  /// Live heap bytes across the shards plus the engaged merge cache
+  /// (util/memory.h convention). O(S), non-canonicalizing.
+  size_t MemoryFootprint() const {
+    size_t total = VectorFootprint(shards_);
+    for (const auto& s : shards_) total += s.MemoryFootprint();
+    if (merged_cache_.has_value()) {
+      total += merged_cache_->MemoryFootprint();
+    }
+    return total + VectorFootprint(merged_epochs_);
+  }
 
  private:
   /// The merged sampler, rebuilt through SlidingWindowSampler::MergeMany
@@ -118,6 +130,17 @@ class ShardedDecaySampler {
   /// Total items retained across shards (>= merged sample size).
   size_t TotalRetained() const;
   const TimeDecaySampler& shard(size_t i) const { return shards_[i]; }
+
+  /// Live heap bytes across the shards plus the engaged merge cache
+  /// (util/memory.h convention); excludes the reusable batch scratch.
+  size_t MemoryFootprint() const {
+    size_t total = VectorFootprint(shards_);
+    for (const auto& s : shards_) total += s.MemoryFootprint();
+    if (merged_cache_.has_value()) {
+      total += merged_cache_->MemoryFootprint();
+    }
+    return total + VectorFootprint(merged_epochs_);
+  }
 
  private:
   /// Dirty-epoch merge cache, same contract as ShardedSampler's: rebuilt

@@ -63,6 +63,7 @@
 #include "ats/core/random.h"
 #include "ats/core/sample_store.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -119,6 +120,15 @@ class SlidingWindowSampler {
 
   /// Number of stored (current + expired) items: the space actually used.
   size_t StoredCount(double now);
+
+  /// Live heap bytes of the windowed state (util/memory.h convention):
+  /// the current store's SoA columns plus the expired column, including
+  /// the not-yet-extracted dead prefix and the not-yet-erased dropped
+  /// head (they occupy real bytes until the deferred cleanup runs).
+  /// O(1), non-canonicalizing -- never advances expiry.
+  size_t MemoryFootprint() const {
+    return current_.MemoryFootprint() + VectorFootprint(expired_);
+  }
 
   /// Current items (after expiry at `now`), for the Figure 1 threshold
   /// trace. Sorted by arrival time.

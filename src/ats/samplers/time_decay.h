@@ -117,6 +117,10 @@ class TimeDecaySampler {
   double LogKeyThreshold() const { return sketch_.Threshold(); }
 
   size_t size() const { return sketch_.size(); }
+
+  /// Live heap bytes of the decayed sample state (util/memory.h
+  /// convention); excludes the reusable AddBatch scratch columns.
+  size_t MemoryFootprint() const { return sketch_.MemoryFootprint(); }
   size_t k() const { return sketch_.k(); }
 
   /// Observable-mutation counter of the backing store; query-side caches

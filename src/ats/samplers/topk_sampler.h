@@ -32,6 +32,7 @@
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -67,6 +68,9 @@ class TopKSampler {
 
   // Number of entries currently stored (the "size" of Figure 3 right).
   size_t size() const { return table_.size(); }
+
+  // Live heap bytes of the counter table, modeled per util/memory.h.
+  size_t MemoryFootprint() const { return HashFootprint(table_); }
 
   // Unbiased estimate of `item`'s count (0 when not in the sketch).
   double EstimatedCount(uint64_t item) const;

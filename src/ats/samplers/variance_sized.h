@@ -30,6 +30,7 @@
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 
 namespace ats {
 
@@ -76,6 +77,11 @@ class VarianceSizedSampler {
   double VarianceEstimate() const;
 
   size_t stream_size() const { return items_.size(); }
+
+  // Live heap bytes of the retained item column (util/memory.h
+  // convention). This sampler keeps the whole stream, so the figure
+  // grows linearly -- which is exactly what the accounting should show.
+  size_t MemoryFootprint() const { return VectorFootprint(items_); }
 
  private:
   void Refresh() const;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -75,6 +76,20 @@ class GroupDistinctSketch {
 
   // Total stored items (promoted sketches + pool): the memory cost.
   size_t StoredItems() const;
+
+  // Live heap bytes (util/memory.h convention): the promoted sketches
+  // recursively plus the modeled pool containers. O(groups), not
+  // O(items): per-sketch footprints are O(1).
+  size_t MemoryFootprint() const {
+    size_t total = HashFootprint(promoted_) + HashFootprint(pool_);
+    for (const auto& [group, sketch] : promoted_) {
+      total += sketch.MemoryFootprint();
+    }
+    for (const auto& [group, priorities] : pool_) {
+      total += TreeFootprint(priorities);
+    }
+    return total;
+  }
 
   size_t NumPromoted() const { return promoted_.size(); }
   size_t PoolSize() const { return pool_.size(); }

@@ -31,6 +31,7 @@
 #include "ats/core/random.h"
 #include "ats/core/sample_store.h"
 #include "ats/core/threshold.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -70,6 +71,13 @@ class KmvSketch {
   size_t size() const { return store_.size(); }
 
   bool saturated() const { return store_.saturated(); }
+
+  // Live heap bytes of the sketch state (util/memory.h convention): the
+  // store's SoA columns plus the modeled duplicate-suppression hash set.
+  // O(1), non-canonicalizing.
+  size_t MemoryFootprint() const {
+    return store_.MemoryFootprint() + HashFootprint(seen_);
+  }
 
   // Unbiased distinct-count estimate: size / theta.
   double Estimate() const;

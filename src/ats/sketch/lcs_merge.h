@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -44,6 +45,9 @@ class LcsSketch {
   double Estimate() const;
 
   size_t size() const { return items_.size(); }
+
+  // Live heap bytes of the retained map, modeled per util/memory.h.
+  size_t MemoryFootprint() const { return TreeFootprint(items_); }
 
   // Retained (hash priority -> per-item threshold), ascending by priority.
   const std::map<double, double>& items() const { return items_; }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ats/sketch/kmv.h"
+#include "ats/util/memory.h"
 #include "ats/util/serialize.h"
 
 namespace ats {
@@ -41,6 +42,13 @@ class ThetaSketch {
 
   double Theta() const;
   size_t size() const;
+
+  // Live heap bytes of the sketch state (util/memory.h convention):
+  // the wrapped KMV in stream mode, the dense retained vector in union
+  // mode. O(1), non-canonicalizing.
+  size_t MemoryFootprint() const {
+    return kmv_.MemoryFootprint() + VectorFootprint(union_retained_);
+  }
 
   // Distinct-count estimate: (#retained)/theta.
   double Estimate() const;

@@ -1,0 +1,69 @@
+// Live-heap accounting helpers behind the MemoryFootprint() convention.
+//
+// Every sampler, sketch, and front-end in the library reports
+// MemoryFootprint(): the heap bytes its CURRENT state occupies, summed
+// recursively through owned components (SampleStore columns, shard
+// vectors, cluster node logs and outboxes). The convention, in one
+// place so every implementation agrees:
+//
+//   * Size, not capacity. Contiguous columns count size() * sizeof(T):
+//     the bytes holding live state. Allocator slack (vector capacity
+//     beyond size, including SampleStore's up-front 2k reservation) is
+//     a constant that would mask the signal the number exists to carry
+//     -- growth under ingest and the drop at compaction/truncation.
+//     For SampleStore's SoA columns this makes the figure EXACT per
+//     retained-or-buffered entry.
+//   * Reusable scratch is excluded. Batch scratch columns and merge
+//     buffers are amortization machinery, not state; they are reported
+//     by nothing.
+//   * Node containers are modeled, not measured. std::map/set/multiset
+//     and std::unordered_* do not expose their allocations, so the
+//     helpers below charge the conventional node layouts (payload plus
+//     pointer overhead). The model is deterministic and monotone in the
+//     element count, which is what the accounting tests pin down.
+//   * O(1)-per-component and non-canonicalizing: calling
+//     MemoryFootprint() never compacts, merges, or otherwise disturbs
+//     representation state, so it is safe on any query path.
+#ifndef ATS_UTIL_MEMORY_H_
+#define ATS_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ats {
+
+// Heap bytes of a contiguous column's live region (size, not capacity).
+template <typename T>
+size_t VectorFootprint(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+// Model of one node-based ordered container (std::map / std::set /
+// std::multiset): per node, the payload plus three tree pointers and a
+// color/balance word.
+inline size_t TreeFootprint(size_t count, size_t value_bytes) {
+  return count * (value_bytes + 4 * sizeof(void*));
+}
+
+template <typename Container>
+size_t TreeFootprint(const Container& c) {
+  return TreeFootprint(c.size(), sizeof(typename Container::value_type));
+}
+
+// Model of std::unordered_{map,set}: the bucket array of head pointers
+// plus, per element, the payload, the chain pointer, and the cached
+// hash word.
+inline size_t HashFootprint(size_t count, size_t buckets,
+                            size_t value_bytes) {
+  return buckets * sizeof(void*) + count * (value_bytes + 2 * sizeof(void*));
+}
+
+template <typename Container>
+size_t HashFootprint(const Container& c) {
+  return HashFootprint(c.size(), c.bucket_count(),
+                       sizeof(typename Container::value_type));
+}
+
+}  // namespace ats
+
+#endif  // ATS_UTIL_MEMORY_H_

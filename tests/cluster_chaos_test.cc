@@ -13,6 +13,7 @@
 //   (d) a fixed seed reproduces the entire run byte-identically.
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -20,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "ats/cluster/cluster.h"
+#include "ats/sketch/kmv.h"
 
 namespace ats::cluster {
 namespace {
@@ -199,6 +201,160 @@ INSTANTIATE_TEST_SUITE_P(Cluster, ChaosMatrix,
                          [](const auto& info) {
                            return std::string(info.param.name);
                          });
+
+// ---------------------------------------------------------------------
+// Persistence tier under chaos (PR 8): the SAME fault matrix with
+// durable checkpointing enabled. Logs stay bounded (truncated at every
+// successful checkpoint), restarts restore-then-replay the suffix, and
+// none of it may perturb the bit-exact convergence contract.
+
+// A fresh, empty checkpoint directory per scenario: a stale file from a
+// previous run covers a DIFFERENT key stream, and the whole point of
+// the epoch-range consistency check is that such a file must never be
+// restored -- so the tests start clean to make every restore meaningful.
+std::string FreshCheckpointDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("ats_chaos_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// The fresh-sketch reference for one agent: the full shadow history,
+// replayed in order. Restart-from-checkpoint-then-replay-suffix must be
+// bit-identical to this (KMV state is a pure function of the key
+// sequence and serialization is canonical).
+std::string FullReplayFrame(const ClusterSim& sim, uint64_t id,
+                            const ClusterConfig& config) {
+  KmvSketch reference(config.k, 1.0, config.hash_salt);
+  reference.AddKeys(sim.History(id));
+  return reference.SerializeToString();
+}
+
+class CheckpointedChaosMatrix : public ::testing::TestWithParam<Scenario> {
+};
+
+TEST_P(CheckpointedChaosMatrix, ConvergesBitExactlyWithBoundedLogs) {
+  const Scenario& scenario = GetParam();
+  ClusterConfig config = BaseConfig(scenario, /*num_agents=*/8,
+                                    /*fan_in=*/0);
+  config.checkpoint_every_epochs = 256;
+  config.checkpoint_dir =
+      FreshCheckpointDir(std::string("flat_") + scenario.name);
+  ClusterSim sim(config);
+
+  sim.RunIngest();
+  ASSERT_TRUE(sim.RunUntilQuiescent()) << scenario.name;
+
+  // The convergence contract is unchanged by the persistence tier.
+  EXPECT_EQ(sim.root().SnapshotFrame(), sim.FaultFreeRootFrame())
+      << scenario.name;
+
+  const ClusterMetrics m = sim.Metrics();
+  EXPECT_GT(m.checkpoints_written, 0u);
+  EXPECT_EQ(m.checkpoint_write_failures, 0u);
+  EXPECT_GT(m.node_memory_bytes, 0u);
+  // Every crash leads to exactly one restart, and every restart with
+  // checkpointing configured attempts exactly one restore (a failure
+  // here is the fail-closed full-log path, e.g. crashing before the
+  // first checkpoint existed).
+  EXPECT_EQ(m.checkpoint_restores + m.checkpoint_restore_failures,
+            m.agent_crashes)
+      << scenario.name;
+
+  const uint64_t total_keys = config.keys_per_tick * config.ingest_ticks;
+  for (const auto& agent : sim.agents()) {
+    // Epochs are global stream offsets: truncation must not lose count.
+    EXPECT_EQ(agent->epoch(), sim.History(agent->id()).size());
+    EXPECT_EQ(agent->epoch(), total_keys);
+    // The durable log is BOUNDED: truncated at each checkpoint, it holds
+    // only the suffix since the last one -- never the whole stream.
+    EXPECT_LT(agent->log().size(), total_keys) << scenario.name;
+    EXPECT_EQ(agent->epochs_since_checkpoint(), agent->log().size());
+    EXPECT_LE(agent->epochs_since_checkpoint(),
+              config.checkpoint_every_epochs +
+                  config.snapshot_every * config.keys_per_tick);
+    // And the recovered/levelled sketch matches the full-history replay
+    // bit for bit.
+    EXPECT_EQ(agent->sketch().SerializeToString(),
+              FullReplayFrame(sim, agent->id(), config))
+        << scenario.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cluster, CheckpointedChaosMatrix,
+                         ::testing::ValuesIn(Scenarios()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(ClusterCheckpoint, RestartFromCheckpointIsBitIdenticalToFullReplay) {
+  // Forces the restore path deterministically: run a checkpointed,
+  // fault-free cluster, then crash an agent BY HAND after checkpoints
+  // exist and restart it. The recovered sketch must be bit-identical to
+  // a fresh full-history replay, and the restore (not the full-log
+  // fallback) must be what produced it.
+  ClusterConfig config;
+  config.num_agents = 4;
+  config.k = 256;
+  config.seed = 0xd00d;
+  config.keys_per_tick = 64;
+  config.ingest_ticks = 16;
+  config.snapshot_every = 4;
+  config.checkpoint_every_epochs = 128;
+  config.checkpoint_dir = FreshCheckpointDir("manual_restart");
+  ClusterSim sim(config);
+  sim.RunIngest();
+
+  AgentNode& agent = *sim.agents()[0];
+  ASSERT_GT(agent.checkpoints_written(), 0u);
+  ASSERT_LT(agent.log().size(), agent.epoch()) << "log must be truncated";
+
+  const std::string expected = FullReplayFrame(sim, 0, config);
+  ASSERT_EQ(agent.sketch().SerializeToString(), expected)
+      << "pre-crash state is the full-stream sketch";
+
+  agent.Crash(sim.now(), /*down_ticks=*/0);
+  EXPECT_NE(agent.sketch().SerializeToString(), expected)
+      << "volatile state must actually be lost";
+  agent.MaybeRestart(sim.now());
+
+  EXPECT_EQ(agent.checkpoint_restores(), 1u)
+      << "recovery must come from the checkpoint, not the full log";
+  EXPECT_EQ(agent.checkpoint_restore_failures(), 0u);
+  EXPECT_EQ(agent.sketch().SerializeToString(), expected)
+      << "restore + bounded-suffix replay == full replay, bit for bit";
+}
+
+TEST(ClusterCheckpoint, MissingCheckpointFailsClosedToFullLogReplay) {
+  // With checkpointing configured but no file yet (crash before the
+  // first cadence point), recovery must fall back to replaying the
+  // whole durable log -- and still rebuild the exact sketch.
+  ClusterConfig config;
+  config.num_agents = 2;
+  config.k = 128;
+  config.seed = 0xfee1;
+  config.keys_per_tick = 32;
+  config.ingest_ticks = 8;
+  config.snapshot_every = 2;
+  config.checkpoint_every_epochs = 1 << 20;  // never reached
+  config.checkpoint_dir = FreshCheckpointDir("never_written");
+  ClusterSim sim(config);
+  sim.RunIngest();
+
+  AgentNode& agent = *sim.agents()[0];
+  ASSERT_EQ(agent.checkpoints_written(), 0u);
+  const std::string expected = FullReplayFrame(sim, 0, config);
+
+  agent.Crash(sim.now(), /*down_ticks=*/0);
+  agent.MaybeRestart(sim.now());
+
+  EXPECT_EQ(agent.checkpoint_restores(), 0u);
+  EXPECT_EQ(agent.checkpoint_restore_failures(), 1u);
+  EXPECT_EQ(agent.last_restore_fault(),
+            persist::CheckpointFault::kIoError);
+  EXPECT_EQ(agent.sketch().SerializeToString(), expected);
+}
 
 // The graceful-degradation contract in isolation: a root that has heard
 // nothing still answers (zero), and staleness names what is missing.

@@ -5,6 +5,7 @@
 // adversarial weight sequences, hostile wire bytes against randomized
 // sampler states across every frame family).
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <set>
 #include <span>
@@ -19,6 +20,7 @@
 #include "ats/cluster/node.h"
 #include "ats/core/bottom_k.h"
 #include "ats/core/simd/simd_dispatch.h"
+#include "ats/persist/checkpoint.h"
 #include "ats/samplers/multi_stratified.h"
 #include "ats/samplers/sliding_window.h"
 #include "ats/samplers/time_decay.h"
@@ -420,6 +422,118 @@ TEST_P(FuzzSweep, EnvelopeHostileBytesFailClosedWithTypedReasons) {
   EXPECT_EQ(view.payload, payload);
   EXPECT_EQ(victim.Receive(frame).kind,
             cluster::ReceiveOutcome::Kind::kApplied);
+}
+
+TEST_P(FuzzSweep, CheckpointHostileFilesFailClosedWithTypedReasons) {
+  // The crash-recovery tier under the same hostility contract as the
+  // wire frames, applied to WRITTEN FILES: every prefix truncation and
+  // every single-bit flip of a valid CKP1 checkpoint must be rejected
+  // through BOTH open paths (the mmap view and the buffered read) with
+  // the typed reason the damaged byte region mandates -- and a failed
+  // RestoreFromCheckpoint must leave the in-memory target sketch
+  // byte-identical.
+  namespace persist = ats::persist;
+  using persist::CheckpointFault;
+
+  Xoshiro256 rng(GetParam() * 131 + 7);
+  KmvSketch sketch(4 + rng.NextBelow(8), 1.0, /*salt=*/33);
+  const int keys = 30 + static_cast<int>(rng.NextBelow(170));
+  for (int i = 0; i < keys; ++i) sketch.AddKey(rng.Next());
+  const std::string image = persist::EncodeCheckpoint(
+      persist::SchemeKind::kKmv, static_cast<uint64_t>(keys),
+      sketch.SerializeToString());
+
+  const std::string path = ::testing::TempDir() + "ats_fuzz_ckp_" +
+                           std::to_string(GetParam()) + ".ckp";
+  // The victim for the fail-closed checks: distinct state from the
+  // checkpointed sketch, so any partial restore would be visible.
+  KmvSketch pristine(6, 1.0, /*salt=*/33);
+  for (int i = 0; i < 64; ++i) pristine.AddKey(rng.Next());
+  const std::string before = pristine.SerializeToString();
+
+  const auto expect_fault = [&](std::string_view bytes, CheckpointFault want,
+                                const char* what, size_t pos) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.write(bytes.data(),
+                            static_cast<std::streamsize>(bytes.size())));
+    }
+    persist::CheckpointReader reader;
+    EXPECT_EQ(persist::CheckpointReader::OpenView(path, &reader), want)
+        << what << " at byte " << pos;
+    EXPECT_EQ(persist::CheckpointReader::OpenBuffered(path, &reader), want)
+        << what << " at byte " << pos;
+    KmvSketch victim = pristine;
+    EXPECT_EQ(persist::RestoreFromCheckpoint(
+                  path, persist::SchemeKind::kKmv, &victim),
+              want)
+        << what << " at byte " << pos;
+    EXPECT_EQ(victim.SerializeToString(), before)
+        << what << " at byte " << pos;
+  };
+
+  // Every strict prefix is a torn or short file.
+  for (size_t len = 0; len < image.size(); ++len) {
+    expect_fault(std::string_view(image.data(), len),
+                 CheckpointFault::kTruncated, "prefix", len);
+  }
+
+  // Every single-bit flip classifies by the header field (or body) the
+  // byte belongs to -- the order documented at DecodeCheckpoint.
+  ByteReader len_reader(
+      std::string_view(image).substr(20, sizeof(uint64_t)));
+  const uint64_t declared_len = *len_reader.ReadU64();
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    const int bit = static_cast<int>(pos % 8);
+    std::string bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+    CheckpointFault want;
+    if (pos < 4) {
+      want = CheckpointFault::kBadMagic;
+    } else if (pos < 8) {
+      want = CheckpointFault::kBadVersion;
+    } else if (pos < 12) {
+      // scheme_kind: out of [1, 4] is kBadKind; a flip that lands on
+      // another valid kind falls through to the checksum.
+      const uint32_t flipped =
+          static_cast<uint32_t>(persist::SchemeKind::kKmv) ^
+          (1u << (8 * (pos - 8) + bit));
+      want = (flipped >= persist::kMinSchemeKind &&
+              flipped <= persist::kMaxSchemeKind)
+                 ? CheckpointFault::kCorruptBody
+                 : CheckpointFault::kBadKind;
+    } else if (pos < 20) {
+      want = CheckpointFault::kCorruptBody;  // epoch: checksum mismatch
+    } else if (pos < persist::kCheckpointHeaderSize) {
+      // payload_len: growing the declared length claims bytes the file
+      // does not hold (a torn tail); shrinking leaves trailing junk.
+      const uint64_t shift = 8 * (pos - 20) + static_cast<uint64_t>(bit);
+      const bool grew = shift < 64 && !((declared_len >> shift) & 1);
+      want = grew ? CheckpointFault::kTruncated
+                  : CheckpointFault::kCorruptBody;
+    } else {
+      want = CheckpointFault::kCorruptBody;  // payload or checksum
+    }
+    expect_fault(bad, want, "bit flip", pos);
+  }
+
+  // The intact image still opens through both paths and restores the
+  // exact sketch.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.write(image.data(),
+                          static_cast<std::streamsize>(image.size())));
+  }
+  for (const auto mode :
+       {persist::OpenMode::kPreferMmap, persist::OpenMode::kBuffered}) {
+    KmvSketch restored(1, 1.0, 0);
+    uint64_t epoch = 0;
+    ASSERT_EQ(persist::RestoreFromCheckpoint(
+                  path, persist::SchemeKind::kKmv, &restored, &epoch, mode),
+              CheckpointFault::kNone);
+    EXPECT_EQ(epoch, static_cast<uint64_t>(keys));
+    EXPECT_EQ(restored.SerializeToString(), sketch.SerializeToString());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
