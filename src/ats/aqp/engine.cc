@@ -9,15 +9,29 @@
 
 namespace ats {
 
-AqpEngine::AqpEngine(std::vector<Row> rows, uint64_t seed) {
+AqpEngine::AqpEngine(std::vector<Row> rows, uint64_t seed, IngestMode mode) {
   Xoshiro256 rng(seed);
   rows_.reserve(rows.size());
-  for (Row& r : rows) {
-    ATS_CHECK(r.weight > 0.0);
-    StoredRow s;
-    s.priority = rng.NextDoubleOpenZero() / r.weight;
-    s.row = std::move(r);
-    rows_.push_back(std::move(s));
+  if (mode == IngestMode::kBatched) {
+    // Dense-column build: all uniforms in one batched fill, then one
+    // pass dividing by weight. Bit-identical to the reference loop.
+    std::vector<double> uniforms(rows.size());
+    rng.FillUniformsOpenZero(uniforms);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ATS_CHECK(rows[i].weight > 0.0);
+      StoredRow s;
+      s.priority = uniforms[i] / rows[i].weight;
+      s.row = std::move(rows[i]);
+      rows_.push_back(std::move(s));
+    }
+  } else {
+    for (Row& r : rows) {
+      ATS_CHECK(r.weight > 0.0);
+      StoredRow s;
+      s.priority = rng.NextDoubleOpenZero() / r.weight;
+      s.row = std::move(r);
+      rows_.push_back(std::move(s));
+    }
   }
   std::sort(rows_.begin(), rows_.end(),
             [](const StoredRow& a, const StoredRow& b) {

@@ -34,8 +34,18 @@ class AqpEngine {
     double weight = 1.0;
   };
 
+  // How the build draws row priorities. Both modes produce a
+  // BIT-IDENTICAL table (FillUniformsOpenZero is defined as exactly n
+  // consecutive NextDoubleOpenZero draws); kScalarReference exists as
+  // the differential oracle for that claim (tests/aqp_test.cc).
+  enum class IngestMode {
+    kBatched,           // dense uniform column via FillUniformsOpenZero
+    kScalarReference,   // one rng draw per row, in the row loop
+  };
+
   // Builds the priority-ordered table (priorities U/w, drawn from `seed`).
-  AqpEngine(std::vector<Row> rows, uint64_t seed);
+  AqpEngine(std::vector<Row> rows, uint64_t seed,
+            IngestMode mode = IngestMode::kBatched);
 
   // SUM(value) over rows whose key satisfies `predicate`, stopping when
   // the estimated standard error is <= delta (absolute).

@@ -80,4 +80,44 @@ std::optional<PrioritySampler> PrioritySampler::Deserialize(ByteReader& r) {
   return sampler;
 }
 
+FrameFault PrioritySampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f = ClassifyFrameBytes(frame, kPrioritySamplerMagic,
+                                          kPrioritySamplerVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
+std::optional<PrioritySampler::FrameView> PrioritySampler::DeserializeView(
+    std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kPrioritySamplerMagic,
+                            kPrioritySamplerVersion);
+  if (!r) return std::nullopt;
+  const auto coordinated = r->ReadU32();
+  if (!coordinated) return std::nullopt;
+  if (!ReadRngState(*r)) return std::nullopt;
+  // The rest of the body is exactly the embedded bottom-k sample region.
+  auto sample = BottomK<Item>::ViewBody(r->Rest());
+  if (!sample) return std::nullopt;
+  FrameView view;
+  view.coordinated_ = *coordinated != 0;
+  view.sample_ = *sample;
+  return view;
+}
+
+bool PrioritySampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Vet every frame before the first one is applied (all-or-nothing).
+  std::vector<BottomK<Item>::FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view) return false;
+    views.push_back(view->sample_);
+  }
+  if (views.empty()) return true;  // strict no-op, like MergeMany({})
+  sketch_.MergeValidatedViews(views);
+  return true;
+}
+
 }  // namespace ats

@@ -368,6 +368,33 @@ class BottomK {
 
 static_assert(MergeableSketch<BottomK<uint64_t>>);
 
+// One weighted item retained by PrioritySampler. Namespace-scope (not
+// nested) so its wire codec below is complete before the sampler's frame
+// view embeds a BottomK view over it.
+struct WeightedStored {
+  uint64_t key;
+  double weight;
+};
+
+// Wire codec for weighted items, so PrioritySampler's sample nests inside
+// the generic BottomK frame (one copy of the entry validation logic).
+template <>
+struct PayloadCodec<WeightedStored> {
+  static constexpr size_t kWireSize = sizeof(uint64_t) + sizeof(double);
+  static void Write(ByteWriter& w, const WeightedStored& item) {
+    w.WriteU64(item.key);
+    w.WriteDouble(item.weight);
+  }
+  static std::optional<WeightedStored> Read(ByteReader& r) {
+    const auto key = r.ReadU64();
+    const auto weight = r.ReadDouble();
+    if (!key.has_value() || !weight || !(*weight > 0.0)) {
+      return std::nullopt;
+    }
+    return WeightedStored{*key, *weight};
+  }
+};
+
 // Priority sampling (weighted bottom-k) over keyed, weighted items.
 //
 // Each item draws priority R = U/w (coordinated via its key hash when
@@ -375,10 +402,7 @@ static_assert(MergeableSketch<BottomK<uint64_t>>);
 // unbiased subset-sum estimation through estimators/subset_sum.h.
 class PrioritySampler {
  public:
-  struct Item {
-    uint64_t key;
-    double weight;
-  };
+  using Item = WeightedStored;
 
   // `seed` drives independent priorities; ignored when coordinated.
   PrioritySampler(size_t k, uint64_t seed = 1, bool coordinated = false);
@@ -421,6 +445,43 @@ class PrioritySampler {
     return DeserializeSketch<PrioritySampler>(bytes);
   }
 
+  // Typed rejection reason for a frame Deserialize would refuse:
+  // structural cause first (kTruncated / kBadMagic / kBadVersion /
+  // checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  // violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  // Zero-copy read-only view over a whole serialized frame: the outer
+  // checksum/header/flag/RNG fields are validated, then the embedded
+  // sample region is exposed through the generic bottom-k frame view.
+  // Borrows the frame's storage; must not outlive it.
+  class FrameView {
+   public:
+    bool coordinated() const { return coordinated_; }
+    size_t k() const { return sample_.k(); }
+    double threshold() const { return sample_.threshold(); }
+    size_t size() const { return sample_.size(); }
+    double priority(size_t i) const { return sample_.priority(i); }
+    Item item(size_t i) const { return sample_.payload(i); }
+
+   private:
+    friend class PrioritySampler;
+    bool coordinated_ = false;
+    BottomK<Item>::FrameView sample_;
+  };
+
+  // Parses a SerializeToString buffer; nullopt on exactly the inputs
+  // Deserialize rejects. Allocation-free.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  // Threshold-pruned k-way merge straight off the wire: observationally
+  // identical to deserializing every frame and merging with Merge() in
+  // span order (frame RNG state and coordination flags do not
+  // participate in a merge). Returns false -- sampler observably
+  // unchanged -- if ANY frame fails validation; all frames are vetted
+  // before the first is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
  private:
   BottomK<Item> sketch_;
   Xoshiro256 rng_;
@@ -430,25 +491,6 @@ class PrioritySampler {
 };
 
 static_assert(MergeableSketch<PrioritySampler>);
-
-// Wire codec for weighted items, so PrioritySampler's sample nests inside
-// the generic BottomK frame (one copy of the entry validation logic).
-template <>
-struct PayloadCodec<PrioritySampler::Item> {
-  static constexpr size_t kWireSize = sizeof(uint64_t) + sizeof(double);
-  static void Write(ByteWriter& w, const PrioritySampler::Item& item) {
-    w.WriteU64(item.key);
-    w.WriteDouble(item.weight);
-  }
-  static std::optional<PrioritySampler::Item> Read(ByteReader& r) {
-    const auto key = r.ReadU64();
-    const auto weight = r.ReadDouble();
-    if (!key.has_value() || !weight || !(*weight > 0.0)) {
-      return std::nullopt;
-    }
-    return PrioritySampler::Item{*key, *weight};
-  }
-};
 
 // Estimator-ready entries (with inclusion probabilities at the store's
 // threshold) from a weighted-item store. Shared by PrioritySampler and

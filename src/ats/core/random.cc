@@ -67,6 +67,10 @@ void Xoshiro256::FillExponentials(std::span<double> out) {
   for (double& v : out) v = -v;
 }
 
+void Xoshiro256::FillUniformsOpenZero(std::span<double> out) {
+  for (double& v : out) v = NextDoubleOpenZero();
+}
+
 double Xoshiro256::NextGaussian() {
   if (have_gaussian_) {
     have_gaussian_ = false;

@@ -85,6 +85,12 @@ class Xoshiro256 {
   // runs the runtime-dispatched vectorized log kernel over it.
   void FillExponentials(std::span<double> out);
 
+  // Fills `out` with uniforms in (0, 1]: bit-identical to out.size()
+  // consecutive NextDoubleOpenZero() calls. The batched-ingest entry
+  // points use this to draw a dense priority column up front instead of
+  // interleaving generator calls with per-row work.
+  void FillUniformsOpenZero(std::span<double> out);
+
   // Standard normal deviate via Marsaglia polar method.
   double NextGaussian();
 

@@ -50,14 +50,21 @@ namespace ats::persist {
 // Which sketch family the wrapped payload frame belongs to. The value
 // is part of the wire format -- never renumber.
 enum class SchemeKind : uint32_t {
-  kKmv = 1,            // KMV2 (sketch/kmv.h)
-  kBottomK = 2,        // BTK2 (core/bottom_k.h)
-  kSlidingWindow = 3,  // SWN1 (samplers/sliding_window.h)
-  kTimeDecay = 4,      // TDK1 (samplers/time_decay.h)
+  kKmv = 1,              // KMV2 (sketch/kmv.h)
+  kBottomK = 2,          // BTK2 (core/bottom_k.h)
+  kSlidingWindow = 3,    // SWN1 (samplers/sliding_window.h)
+  kTimeDecay = 4,        // TDK1 (samplers/time_decay.h)
+  kMultiStratified = 5,  // MSS1 (samplers/multi_stratified.h)
+  kVarianceSized = 6,    // VSZ1 (samplers/variance_sized.h)
+  kMultiObjective = 7,   // MOB1 (samplers/multi_objective.h)
+  kBudget = 8,           // BGT1 (samplers/budget_sampler.h)
+  kPriority = 9,         // PSM2 (core/bottom_k.h)
+  kTheta = 10,           // THT2 (sketch/theta.h)
+  kGroupDistinct = 11,   // GDS2 (sketch/group_distinct.h)
 };
 
 inline constexpr uint32_t kMinSchemeKind = 1;
-inline constexpr uint32_t kMaxSchemeKind = 4;
+inline constexpr uint32_t kMaxSchemeKind = 11;
 
 // Why a checkpoint file failed to open. Mirrors FrameFault
 // (util/serialize.h) with the file-level causes a wire frame cannot
@@ -100,7 +107,8 @@ struct CheckpointInfo {
 // is outermost-defect-first, and this order is normative (the fuzz
 // sweep pins it): fewer bytes than the 28-byte header -> kTruncated;
 // foreign magic -> kBadMagic; version 0 or > kCheckpointVersion ->
-// kBadVersion; scheme_kind outside [1, 4] -> kBadKind; fewer bytes than
+// kBadVersion; scheme_kind outside [kMinSchemeKind, kMaxSchemeKind] ->
+// kBadKind; fewer bytes than
 // header + payload_len + checksum -> kTruncated; MORE bytes than
 // declared (trailing junk) -> kCorruptBody; checksum mismatch ->
 // kCorruptBody. The wrapped sketch frame is NOT parsed here -- that is
@@ -191,7 +199,9 @@ class CheckpointReader {
 // Deserialize. `*target` is assigned ONLY when every layer passes -- on
 // any fault it is byte-identical to before the call. `Sketch` is any
 // family with `static std::optional<Sketch> Deserialize(string_view)`
-// (KmvSketch, PrioritySampler, SlidingWindowSampler, TimeDecaySampler).
+// (KmvSketch, BottomK, PrioritySampler, SlidingWindowSampler,
+// TimeDecaySampler, MultiStratifiedSampler, VarianceSizedSampler,
+// MultiObjectiveSampler, BudgetSampler).
 template <typename Sketch>
 CheckpointFault RestoreFromCheckpoint(const std::string& path,
                                       SchemeKind expected_kind,

@@ -1,5 +1,7 @@
 #include "ats/samplers/budget_sampler.h"
 
+#include <cmath>
+
 #include "ats/core/sample_store.h"
 #include "ats/util/check.h"
 
@@ -7,9 +9,25 @@ namespace ats {
 
 namespace {
 
+constexpr uint32_t kBudgetMagic = 0x31544742;  // "BGT1"
+constexpr uint32_t kBudgetVersion = 1;
+
 bool PriorityLess(const BudgetSampler::Item& a,
                   const BudgetSampler::Item& b) {
   return a.priority < b.priority;
+}
+
+// Entry-level wire validation (the cross-entry rules -- ascending
+// priorities, cumulative size within budget -- live at the callers):
+// size positive, finite, and not oversized (Add rejects size > B before
+// drawing, so no genuine frame carries one); value finite; weight a
+// positive finite double; priority a positive finite draw strictly
+// below the frame threshold (the travel rule).
+bool ValidWireItem(double budget, double threshold, double size,
+                   double value, double weight, double priority) {
+  return size > 0.0 && std::isfinite(size) && size <= budget &&
+         std::isfinite(value) && weight > 0.0 && std::isfinite(weight) &&
+         priority > 0.0 && std::isfinite(priority) && priority < threshold;
 }
 
 }  // namespace
@@ -109,6 +127,157 @@ std::vector<SampleEntry> BudgetSampler::Sample() const {
     out.push_back(e);
   }
   return out;
+}
+
+void BudgetSampler::LowerThresholdAndPurge(double other_threshold) {
+  if (other_threshold >= threshold_) return;
+  threshold_ = other_threshold;
+  while (!items_.empty()) {
+    auto last = std::prev(items_.end());
+    if (last->priority < threshold_) break;
+    used_ -= last->size;
+    items_.erase(last);
+  }
+}
+
+void BudgetSampler::Merge(const BudgetSampler& other) {
+  if (&other == this) return;
+  ATS_CHECK(other.budget_ == budget_);
+  LowerThresholdAndPurge(other.threshold_);
+  for (const Item& it : other.items_) {
+    Insert(it.key, it.size, it.value, it.weight, it.priority);
+  }
+}
+
+void BudgetSampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kBudgetMagic, kBudgetVersion);
+  w.WriteDouble(budget_);
+  w.WriteDouble(threshold_);
+  WriteRngState(w, rng_.State());
+  w.WriteU64(items_.size());
+  for (const Item& it : items_) {
+    w.WriteU64(it.key);
+    w.WriteDouble(it.size);
+    w.WriteDouble(it.value);
+    w.WriteDouble(it.weight);
+    w.WriteDouble(it.priority);
+  }
+}
+
+std::optional<BudgetSampler> BudgetSampler::Deserialize(ByteReader& r) {
+  if (!ReadSketchHeader(r, kBudgetMagic, kBudgetVersion)) {
+    return std::nullopt;
+  }
+  const auto budget = r.ReadDouble();
+  if (!budget || !(*budget > 0.0) || !std::isfinite(*budget)) {
+    return std::nullopt;
+  }
+  const auto threshold = r.ReadDouble();
+  // +infinity (never exceeded the budget) is legal; NaN and <= 0 are not.
+  if (!threshold || !(*threshold > 0.0)) return std::nullopt;
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
+  const auto count = r.ReadU64();
+  if (!count) return std::nullopt;
+  BudgetSampler sampler(*budget, /*seed=*/1);
+  sampler.rng_.SetState(*rng_state);
+  sampler.threshold_ = *threshold;
+  double previous_priority = 0.0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    const auto key = r.ReadU64();
+    const auto size = r.ReadDouble();
+    const auto value = r.ReadDouble();
+    const auto weight = r.ReadDouble();
+    const auto priority = r.ReadDouble();
+    if (!key.has_value() || !size || !value || !weight || !priority) {
+      return std::nullopt;
+    }
+    if (!ValidWireItem(*budget, *threshold, *size, *value, *weight,
+                       *priority) ||
+        *priority < previous_priority ||
+        sampler.used_ + *size > *budget) {
+      return std::nullopt;
+    }
+    previous_priority = *priority;
+    Item item;
+    item.key = *key;
+    item.size = *size;
+    item.value = *value;
+    item.weight = *weight;
+    item.priority = *priority;
+    // End-hint insert: entries arrive in ascending order, and equal
+    // priorities keep their wire order (byte-stability).
+    sampler.items_.insert(sampler.items_.end(), item);
+    sampler.used_ += *size;
+  }
+  return sampler;
+}
+
+FrameFault BudgetSampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f = ClassifyFrameBytes(frame, kBudgetMagic, kBudgetVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
+std::optional<BudgetSampler::FrameView> BudgetSampler::DeserializeView(
+    std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kBudgetMagic, kBudgetVersion);
+  if (!r) return std::nullopt;
+  const auto budget = r->ReadDouble();
+  if (!budget || !(*budget > 0.0) || !std::isfinite(*budget)) {
+    return std::nullopt;
+  }
+  const auto threshold = r->ReadDouble();
+  if (!threshold || !(*threshold > 0.0)) return std::nullopt;
+  if (!ReadRngState(*r)) return std::nullopt;
+  const auto count = r->ReadU64();
+  if (!count) return std::nullopt;
+  const std::string_view entries = r->Rest();
+  // Division-form length check: immune to count * stride overflow.
+  if (entries.size() % FrameView::kStride != 0 ||
+      *count != entries.size() / FrameView::kStride) {
+    return std::nullopt;
+  }
+  FrameView view;
+  view.budget_ = *budget;
+  view.threshold_ = *threshold;
+  view.entries_ = entries;
+  double previous_priority = 0.0;
+  double used = 0.0;
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (!ValidWireItem(*budget, *threshold, view.item_size(i), view.value(i),
+                       view.weight(i), view.priority(i)) ||
+        view.priority(i) < previous_priority ||
+        used + view.item_size(i) > *budget) {
+      return std::nullopt;
+    }
+    previous_priority = view.priority(i);
+    used += view.item_size(i);
+  }
+  return view;
+}
+
+bool BudgetSampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Vet every frame before the first one is applied (all-or-nothing).
+  std::vector<FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view || view->budget() != budget_) return false;
+    views.push_back(*view);
+  }
+  // Apply per frame in span order -- exactly the Merge() rule, so the
+  // result matches deserializing each frame and chaining Merge().
+  for (const FrameView& v : views) {
+    LowerThresholdAndPurge(v.threshold());
+    for (size_t i = 0; i < v.size(); ++i) {
+      Insert(v.key(i), v.item_size(i), v.value(i), v.weight(i),
+             v.priority(i));
+    }
+  }
+  return true;
 }
 
 }  // namespace ats

@@ -14,13 +14,18 @@
 #define ATS_SAMPLERS_BUDGET_SAMPLER_H_
 
 #include <cstdint>
+#include <cstring>
+#include <optional>
 #include <set>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
 #include "ats/util/memory.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -79,8 +84,86 @@ class BudgetSampler {
   // WeightedUniform(w) priorities; uniform items carry Uniform priorities.
   std::vector<SampleEntry> Sample() const;
 
+  /// Merges a sampler over a disjoint stream, per the budget union rule:
+  /// the merged threshold starts at min of the two (items lost above
+  /// either threshold are unknowable), survivors above it are purged,
+  /// then the other sampler's retained items are re-offered in ascending
+  /// priority order with the budget shrink re-applied. Both samplers
+  /// must share the budget B. Self-merge is a no-op.
+  void Merge(const BudgetSampler& other);
+
+  // --- Versioned wire format (magic "BGT1") ---
+  //
+  // Frame: header, budget B, current threshold, RNG state, then the
+  // retained items in ascending priority order -- count, then count
+  // fixed-stride entries of (key u64, size f64, value f64, weight f64,
+  // priority f64). Ascending multiset order is canonical (equal
+  // priorities keep their relative order through a round trip, since
+  // multiset::insert places equals last), so
+  // serialize-deserialize-serialize is byte-stable. Entries must be
+  // non-decreasing in priority, strictly below the threshold, with
+  // positive sizes that cumulatively fit the budget.
+
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<BudgetSampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<BudgetSampler> Deserialize(std::string_view bytes) {
+    return DeserializeSketch<BudgetSampler>(bytes);
+  }
+
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  /// Zero-copy read-only view over a whole serialized frame: every
+  /// layer validated (including the per-entry rules above), the
+  /// fixed-stride entry region exposed in place. Borrows the frame's
+  /// storage; must not outlive it.
+  class FrameView {
+   public:
+    double budget() const { return budget_; }
+    double threshold() const { return threshold_; }
+    size_t size() const { return entries_.size() / kStride; }
+    uint64_t key(size_t i) const { return ReadAt<uint64_t>(i, 0); }
+    double item_size(size_t i) const { return ReadAt<double>(i, 8); }
+    double value(size_t i) const { return ReadAt<double>(i, 16); }
+    double weight(size_t i) const { return ReadAt<double>(i, 24); }
+    double priority(size_t i) const { return ReadAt<double>(i, 32); }
+
+   private:
+    friend class BudgetSampler;
+    static constexpr size_t kStride = sizeof(uint64_t) + 4 * sizeof(double);
+
+    template <typename T>
+    T ReadAt(size_t i, size_t offset) const {
+      T v;
+      std::memcpy(&v, entries_.data() + i * kStride + offset, sizeof(T));
+      return v;
+    }
+
+    double budget_ = 0.0;
+    double threshold_ = kInfiniteThreshold;
+    std::string_view entries_;
+  };
+
+  /// Parses a SerializeToString buffer; nullopt on exactly the inputs
+  /// Deserialize rejects. Allocation-free.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  /// Merge straight off the wire: observationally identical to
+  /// deserializing every frame and merging with Merge() in span order.
+  /// Every frame must carry this sampler's budget. Returns false --
+  /// sampler observably unchanged -- if ANY frame fails validation; all
+  /// frames are vetted before the first is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
  private:
   void Shrink();
+  // The shared first half of the merge rule: adopt the lower threshold
+  // and purge retained items no longer strictly below it.
+  void LowerThresholdAndPurge(double other_threshold);
   // The insertion tail shared by Add and AddBatch: threshold re-check,
   // multiset insert, budget shrink. Returns true iff the item is still
   // retained after the shrink.
@@ -96,6 +179,8 @@ class BudgetSampler {
   // Priority column scratch for AddBatch (reused across calls).
   std::vector<double> batch_priorities_;
 };
+
+static_assert(MergeableSketch<BudgetSampler>);
 
 }  // namespace ats
 

@@ -12,7 +12,12 @@
 #ifndef ATS_SAMPLERS_MULTI_OBJECTIVE_H_
 #define ATS_SAMPLERS_MULTI_OBJECTIVE_H_
 
+#include <cmath>
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -20,11 +25,48 @@
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
 #include "ats/util/memory.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
+// One retained item under a single objective's sketch. Namespace-scope
+// (not nested) so its wire codec below is complete before the sampler's
+// frame view embeds BottomK views over it.
+struct MultiObjectiveStored {
+  uint64_t key;
+  double value;
+  double weight;  // weight under this sketch's objective
+};
+
+// Wire codec for the per-objective payload, so each objective's sample
+// region nests inside the generic BottomK frame (one copy of the entry
+// validation logic). Weight must be a positive finite double; the value
+// must be finite.
+template <>
+struct PayloadCodec<MultiObjectiveStored> {
+  static constexpr size_t kWireSize = sizeof(uint64_t) + 2 * sizeof(double);
+  static void Write(ByteWriter& w, const MultiObjectiveStored& s) {
+    w.WriteU64(s.key);
+    w.WriteDouble(s.value);
+    w.WriteDouble(s.weight);
+  }
+  static std::optional<MultiObjectiveStored> Read(ByteReader& r) {
+    const auto key = r.ReadU64();
+    const auto value = r.ReadDouble();
+    const auto weight = r.ReadDouble();
+    if (!key.has_value() || !value || !weight) return std::nullopt;
+    if (!std::isfinite(*value) || !(*weight > 0.0) ||
+        !std::isfinite(*weight)) {
+      return std::nullopt;
+    }
+    return MultiObjectiveStored{*key, *value, *weight};
+  }
+};
+
 class MultiObjectiveSampler {
  public:
+  using Stored = MultiObjectiveStored;
+
   struct Item {
     uint64_t key = 0;
     double value = 0.0;
@@ -59,16 +101,70 @@ class MultiObjectiveSampler {
     return total;
   }
 
- private:
-  struct Stored {
-    uint64_t key;
-    double value;
-    double weight;  // weight under this sketch's objective
+  /// Merges a sampler over a disjoint stream: objective-wise bottom-k
+  /// union (the shared-uniform coordination is per stream, so the union
+  /// rule applies independently per objective). Both samplers must have
+  /// the same objective count. Self-merge is a no-op.
+  void Merge(const MultiObjectiveSampler& other);
+
+  // --- Versioned wire format (magic "MOB1") ---
+  //
+  // Frame: header, objective count, per-objective k, RNG state, then one
+  // length-prefixed embedded BTK2 sample region per objective (the
+  // nested bottom-k body bytes, verbatim). Every nested region must
+  // declare the frame's k. Nested regions are in objective order, so
+  // serialize-deserialize-serialize is byte-stable.
+
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<MultiObjectiveSampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<MultiObjectiveSampler> Deserialize(
+      std::string_view bytes) {
+    return DeserializeSketch<MultiObjectiveSampler>(bytes);
+  }
+
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  /// Read-only view over a whole serialized frame: outer layers
+  /// validated, then each objective's sample region exposed through the
+  /// generic bottom-k frame view (one small vector of views is the only
+  /// allocation). Borrows the frame's storage; must not outlive it.
+  class FrameView {
+   public:
+    size_t num_objectives() const { return objectives_.size(); }
+    size_t k() const { return k_; }
+    const BottomK<Stored>::FrameView& objective(size_t j) const {
+      return objectives_[j];
+    }
+
+   private:
+    friend class MultiObjectiveSampler;
+    size_t k_ = 0;
+    std::vector<BottomK<Stored>::FrameView> objectives_;
   };
 
+  /// Parses a SerializeToString buffer; nullopt on exactly the inputs
+  /// Deserialize rejects.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  /// Objective-wise threshold-pruned merge straight off the wire:
+  /// observationally identical to deserializing every frame and merging
+  /// with Merge() in span order. Every frame must carry this sampler's
+  /// objective count. Returns false -- sampler observably unchanged --
+  /// if ANY frame fails validation; all frames are vetted before the
+  /// first is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
+ private:
   std::vector<BottomK<Stored>> sketches_;
   Xoshiro256 rng_;
 };
+
+static_assert(MergeableSketch<MultiObjectiveSampler>);
 
 }  // namespace ats
 

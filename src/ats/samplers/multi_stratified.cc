@@ -1,10 +1,19 @@
 #include "ats/samplers/multi_stratified.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "ats/util/check.h"
 
 namespace ats {
+
+namespace {
+
+constexpr uint32_t kStratifiedMagic = 0x3153534d;  // "MSS1"
+constexpr uint32_t kStratifiedVersion = 1;
+
+}  // namespace
 
 MultiStratifiedSampler::MultiStratifiedSampler(size_t num_dimensions,
                                                size_t k, uint64_t seed)
@@ -105,6 +114,267 @@ std::vector<SampleEntry> MultiStratifiedSampler::Sample() const {
     out.push_back(MakeUniformEntry(key, item.value, item.priority, threshold));
   }
   return out;
+}
+
+void MultiStratifiedSampler::Merge(const MultiStratifiedSampler& other) {
+  if (&other == this) return;
+  ATS_CHECK(other.num_dimensions_ == num_dimensions_);
+  ATS_CHECK(other.k_ == k_);
+  // 1) Compose strata: items lost above either side's threshold are
+  // unknowable, so the merged bound is the min; likewise the budget
+  // rule's capacity only ever shrinks, so the min capacity governs.
+  for (const auto& [id, s] : other.strata_) {
+    auto [sit, created] = strata_.try_emplace(id);
+    Stratum& mine = sit->second;
+    if (created) mine.capacity = k_;
+    mine.threshold = std::min(mine.threshold, s.threshold);
+    mine.capacity = std::min(mine.capacity, s.capacity);
+  }
+  // 2) The union of the retained items, ascending by priority (keys
+  // break exact ties deterministically).
+  std::vector<std::pair<double, uint64_t>> order;
+  order.reserve(items_.size() + other.items_.size());
+  for (const auto& [key, item] : items_) {
+    order.emplace_back(item.priority, key);
+  }
+  for (const auto& [key, item] : other.items_) {
+    ATS_CHECK_MSG(!items_.contains(key),
+                  "Merge requires key-disjoint streams");
+    order.emplace_back(item.priority, key);
+    items_.emplace(key, item);
+  }
+  std::sort(order.begin(), order.end());
+  // 3) Rebuild every membership under the composed bounds: clear the
+  // member sets and re-offer ascending. Ascending order means a full
+  // stratum only ever lowers its threshold (EvictTop never fires), which
+  // is exactly the bottom-capacity of the union below the composed bound.
+  for (auto& [id, s] : strata_) s.members.clear();
+  for (auto& [key, item] : items_) item.memberships = 0;
+  for (const auto& [priority, key] : order) {
+    const StrataKeys& strata = items_.at(key).strata;
+    for (size_t d = 0; d < num_dimensions_; ++d) {
+      OfferToStratum({d, strata[d]}, priority, key);
+    }
+  }
+  // 4) Items that landed in no stratum are not retained.
+  for (auto it = items_.begin(); it != items_.end();) {
+    it = it->second.memberships == 0 ? items_.erase(it) : std::next(it);
+  }
+}
+
+void MultiStratifiedSampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kStratifiedMagic, kStratifiedVersion);
+  w.WriteU64(num_dimensions_);
+  w.WriteU64(k_);
+  WriteRngState(w, rng_.State());
+  w.WriteU64(strata_.size());
+  for (const auto& [id, s] : strata_) {  // std::map: ascending (dim, key)
+    w.WriteU64(id.first);
+    w.WriteU64(id.second);
+    w.WriteDouble(s.threshold);
+    w.WriteU64(s.capacity);
+    w.WriteU64(s.members.size());
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(items_.size());
+  for (const auto& [key, item] : items_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());  // canonical item order
+  w.WriteU64(keys.size());
+  for (uint64_t key : keys) {
+    const ItemData& item = items_.at(key);
+    w.WriteU64(key);
+    w.WriteDouble(item.value);
+    w.WriteDouble(item.priority);
+    for (uint64_t stratum_key : item.strata) w.WriteU64(stratum_key);
+  }
+}
+
+std::optional<MultiStratifiedSampler::FrameView>
+MultiStratifiedSampler::ViewBody(std::string_view body) {
+  ByteReader r(body);
+  if (!ReadSketchHeader(r, kStratifiedMagic, kStratifiedVersion)) {
+    return std::nullopt;
+  }
+  const auto num_dimensions = r.ReadU64();
+  const auto k = r.ReadU64();
+  if (!num_dimensions || !k) return std::nullopt;
+  if (*num_dimensions < 1 || *k < 1) return std::nullopt;
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
+  const auto num_strata = r.ReadU64();
+  if (!num_strata) return std::nullopt;
+  FrameView view;
+  view.num_dimensions_ = static_cast<size_t>(*num_dimensions);
+  view.k_ = static_cast<size_t>(*k);
+  view.rng_state_ = *rng_state;
+  const std::string_view after_strata_count = r.Rest();
+  // Division-form bounds check: immune to count * stride overflow.
+  if (*num_strata > after_strata_count.size() / FrameView::kStratumStride) {
+    return std::nullopt;
+  }
+  const size_t strata_bytes =
+      static_cast<size_t>(*num_strata) * FrameView::kStratumStride;
+  view.strata_ = after_strata_count.substr(0, strata_bytes);
+  r.Skip(strata_bytes);
+  const auto num_items = r.ReadU64();
+  if (!num_items) return std::nullopt;
+  const std::string_view item_region = r.Rest();
+  const size_t item_stride = view.item_stride();
+  if (item_region.size() % item_stride != 0 ||
+      *num_items != item_region.size() / item_stride) {
+    return std::nullopt;
+  }
+  view.items_ = item_region;
+  // Stratum table: strictly ascending (dimension, stratum key), every
+  // dimension in range, thresholds in (0, 1] or +infinity (priorities
+  // are NextDoubleOpenZero draws), capacity within the initial k,
+  // member count within the capacity.
+  for (size_t i = 0; i < view.num_strata(); ++i) {
+    if (view.stratum_dimension(i) >= view.num_dimensions_) {
+      return std::nullopt;
+    }
+    if (i > 0) {
+      const auto prev = std::make_pair(view.stratum_dimension(i - 1),
+                                       view.stratum_key(i - 1));
+      const auto cur =
+          std::make_pair(view.stratum_dimension(i), view.stratum_key(i));
+      if (!(prev < cur)) return std::nullopt;
+    }
+    const double t = view.stratum_threshold(i);
+    if (!(t > 0.0) || (t > 1.0 && t != kInfiniteThreshold)) {
+      return std::nullopt;
+    }
+    if (view.stratum_capacity(i) > view.k_ ||
+        view.stratum_member_count(i) > view.stratum_capacity(i)) {
+      return std::nullopt;
+    }
+  }
+  // Item table: strictly ascending keys, finite values, priorities in
+  // (0, 1], every stratum reference resolving to a table entry. The
+  // membership reconstruction (priority strictly below the stratum
+  // threshold) must hit every serialized member count exactly, and every
+  // item must be a member somewhere -- otherwise it would not be
+  // retained.
+  std::vector<uint64_t> counted(view.num_strata(), 0);
+  const auto find_stratum = [&view](size_t dimension,
+                                    uint64_t key) -> std::optional<size_t> {
+    size_t lo = 0, hi = view.num_strata();
+    const auto target = std::make_pair(dimension, key);
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const auto at =
+          std::make_pair(view.stratum_dimension(mid), view.stratum_key(mid));
+      if (at < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == view.num_strata()) return std::nullopt;
+    const auto at =
+        std::make_pair(view.stratum_dimension(lo), view.stratum_key(lo));
+    if (at != target) return std::nullopt;
+    return lo;
+  };
+  for (size_t i = 0; i < view.num_items(); ++i) {
+    if (i > 0 && view.item_key(i) <= view.item_key(i - 1)) {
+      return std::nullopt;
+    }
+    if (!std::isfinite(view.item_value(i))) return std::nullopt;
+    const double p = view.item_priority(i);
+    if (!(p > 0.0) || p > 1.0) return std::nullopt;
+    bool member_somewhere = false;
+    for (size_t d = 0; d < view.num_dimensions_; ++d) {
+      const auto s = find_stratum(d, view.item_stratum(i, d));
+      if (!s) return std::nullopt;
+      if (p < view.stratum_threshold(*s)) {
+        ++counted[*s];
+        member_somewhere = true;
+      }
+    }
+    if (!member_somewhere) return std::nullopt;
+  }
+  for (size_t i = 0; i < view.num_strata(); ++i) {
+    if (counted[i] != view.stratum_member_count(i)) return std::nullopt;
+  }
+  return view;
+}
+
+MultiStratifiedSampler MultiStratifiedSampler::FromValidatedView(
+    const FrameView& view) {
+  MultiStratifiedSampler sampler(view.num_dimensions(), view.k(),
+                                 /*seed=*/1);
+  sampler.rng_.SetState(view.rng_state_);
+  for (size_t i = 0; i < view.num_strata(); ++i) {
+    Stratum s;
+    s.threshold = view.stratum_threshold(i);
+    s.capacity = view.stratum_capacity(i);
+    sampler.strata_.emplace(
+        StratumId{view.stratum_dimension(i), view.stratum_key(i)},
+        std::move(s));
+  }
+  for (size_t i = 0; i < view.num_items(); ++i) {
+    ItemData item;
+    item.value = view.item_value(i);
+    item.priority = view.item_priority(i);
+    item.strata.reserve(view.num_dimensions());
+    for (size_t d = 0; d < view.num_dimensions(); ++d) {
+      item.strata.push_back(view.item_stratum(i, d));
+    }
+    const uint64_t key = view.item_key(i);
+    // Rebuild memberships by the wire rule the view already validated.
+    for (size_t d = 0; d < view.num_dimensions(); ++d) {
+      Stratum& s = sampler.strata_.at({d, item.strata[d]});
+      if (item.priority < s.threshold) {
+        s.members.emplace(item.priority, key);
+        ++item.memberships;
+      }
+    }
+    sampler.items_.emplace(key, std::move(item));
+  }
+  return sampler;
+}
+
+std::optional<MultiStratifiedSampler> MultiStratifiedSampler::Deserialize(
+    ByteReader& r) {
+  const std::string_view body = r.Rest();
+  const auto view = ViewBody(body);
+  if (!view) return std::nullopt;
+  r.Skip(body.size());  // ViewBody consumed the whole body
+  return FromValidatedView(*view);
+}
+
+FrameFault MultiStratifiedSampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f =
+      ClassifyFrameBytes(frame, kStratifiedMagic, kStratifiedVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
+std::optional<MultiStratifiedSampler::FrameView>
+MultiStratifiedSampler::DeserializeView(std::string_view frame) {
+  const auto body = CheckedFrameBody(frame);
+  if (!body) return std::nullopt;
+  return ViewBody(*body);
+}
+
+bool MultiStratifiedSampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Vet every frame before the first one is applied (all-or-nothing),
+  // then apply as the literal Merge() chain in span order.
+  std::vector<MultiStratifiedSampler> parsed;
+  parsed.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto sampler = Deserialize(f);
+    if (!sampler || sampler->num_dimensions_ != num_dimensions_ ||
+        sampler->k_ != k_) {
+      return false;
+    }
+    parsed.push_back(std::move(*sampler));
+  }
+  for (const MultiStratifiedSampler& s : parsed) Merge(s);
+  return true;
 }
 
 }  // namespace ats

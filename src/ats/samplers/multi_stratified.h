@@ -16,15 +16,22 @@
 #ifndef ATS_SAMPLERS_MULTI_STRATIFIED_H_
 #define ATS_SAMPLERS_MULTI_STRATIFIED_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <optional>
 #include <set>
+#include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
 #include "ats/util/memory.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -73,6 +80,117 @@ class MultiStratifiedSampler {
 
   size_t num_dimensions() const { return num_dimensions_; }
 
+  /// Merges a sampler over a disjoint (key-disjoint) stream: strata are
+  /// composed by min threshold and min capacity, then the union of the
+  /// retained items is re-offered in ascending priority order, which
+  /// rebuilds every stratum's bottom-capacity membership under the
+  /// composed bounds. Both samplers must share num_dimensions and the
+  /// initial k. Self-merge is a no-op.
+  void Merge(const MultiStratifiedSampler& other);
+
+  // --- Versioned wire format (magic "MSS1") ---
+  //
+  // Frame: header, num_dimensions, k, RNG state, then the stratum table
+  // in ascending (dimension, stratum key) order -- count, then
+  // fixed-stride entries of (dimension u64, stratum_key u64,
+  // threshold f64, capacity u64, member_count u64) -- then the item
+  // table in ascending key order: count, then fixed-stride entries of
+  // (key u64, value f64, priority f64, num_dimensions stratum keys).
+  // Both orders are canonical, so serialize-deserialize-serialize is
+  // byte-stable. Memberships do not travel: an item is a member of a
+  // stratum exactly when its priority lies strictly below the stratum
+  // threshold, and the reader validates the reconstruction against the
+  // serialized per-stratum member counts (a genuinely tied state --
+  // probability zero under continuous draws -- fails closed).
+
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<MultiStratifiedSampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<MultiStratifiedSampler> Deserialize(
+      std::string_view bytes) {
+    return DeserializeSketch<MultiStratifiedSampler>(bytes);
+  }
+
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  /// Read-only view over a whole serialized frame: every layer
+  /// validated (including the membership-count reconstruction check),
+  /// the two fixed-stride regions exposed in place. Borrows the frame's
+  /// storage; must not outlive it.
+  class FrameView {
+   public:
+    size_t num_dimensions() const { return num_dimensions_; }
+    size_t k() const { return k_; }
+
+    size_t num_strata() const { return strata_.size() / kStratumStride; }
+    size_t stratum_dimension(size_t i) const {
+      return static_cast<size_t>(StratumAt<uint64_t>(i, 0));
+    }
+    uint64_t stratum_key(size_t i) const { return StratumAt<uint64_t>(i, 8); }
+    double stratum_threshold(size_t i) const {
+      return StratumAt<double>(i, 16);
+    }
+    size_t stratum_capacity(size_t i) const {
+      return static_cast<size_t>(StratumAt<uint64_t>(i, 24));
+    }
+    size_t stratum_member_count(size_t i) const {
+      return static_cast<size_t>(StratumAt<uint64_t>(i, 32));
+    }
+
+    size_t num_items() const { return items_.size() / item_stride(); }
+    uint64_t item_key(size_t i) const { return ItemAt<uint64_t>(i, 0); }
+    double item_value(size_t i) const { return ItemAt<double>(i, 8); }
+    double item_priority(size_t i) const { return ItemAt<double>(i, 16); }
+    uint64_t item_stratum(size_t i, size_t dimension) const {
+      return ItemAt<uint64_t>(i, 24 + dimension * sizeof(uint64_t));
+    }
+
+   private:
+    friend class MultiStratifiedSampler;
+    static constexpr size_t kStratumStride =
+        3 * sizeof(uint64_t) + sizeof(double) + sizeof(uint64_t);
+
+    size_t item_stride() const {
+      return 2 * sizeof(double) + (1 + num_dimensions_) * sizeof(uint64_t);
+    }
+    template <typename T>
+    T StratumAt(size_t i, size_t offset) const {
+      T v;
+      std::memcpy(&v, strata_.data() + i * kStratumStride + offset,
+                  sizeof(T));
+      return v;
+    }
+    template <typename T>
+    T ItemAt(size_t i, size_t offset) const {
+      T v;
+      std::memcpy(&v, items_.data() + i * item_stride() + offset, sizeof(T));
+      return v;
+    }
+
+    size_t num_dimensions_ = 0;
+    size_t k_ = 0;
+    std::array<uint64_t, 4> rng_state_ = {1, 0, 0, 0};
+    std::string_view strata_;
+    std::string_view items_;
+  };
+
+  /// Parses a SerializeToString buffer; nullopt on exactly the inputs
+  /// Deserialize rejects.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  /// Merge straight off the wire: observationally identical to
+  /// deserializing every frame and merging with Merge() in span order
+  /// (it is exactly that chain, after vetting). Every frame must carry
+  /// this sampler's num_dimensions and k; streams must be key-disjoint
+  /// (Merge's precondition). Returns false -- sampler observably
+  /// unchanged -- if ANY frame fails validation; all frames are vetted
+  /// before the first is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
  private:
   struct ItemData {
     double value = 0.0;
@@ -97,12 +215,22 @@ class MultiStratifiedSampler {
   // threshold; drops the item globally when its membership count hits 0.
   void EvictTop(Stratum& stratum);
 
+  // Parses a bare (un-checksummed) MSS1 body spanning the whole of
+  // `body`; shared by the eager and view paths so the validation logic
+  // exists once.
+  static std::optional<FrameView> ViewBody(std::string_view body);
+
+  // Rebuilds a sampler from a fully validated frame view.
+  static MultiStratifiedSampler FromValidatedView(const FrameView& view);
+
   size_t num_dimensions_;
   size_t k_;
   Xoshiro256 rng_;
   std::map<StratumId, Stratum> strata_;
   std::unordered_map<uint64_t, ItemData> items_;
 };
+
+static_assert(MergeableSketch<MultiStratifiedSampler>);
 
 }  // namespace ats
 

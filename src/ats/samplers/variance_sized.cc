@@ -9,6 +9,18 @@ namespace ats {
 
 namespace {
 
+constexpr uint32_t kVarianceMagic = 0x315a5356;  // "VSZ1"
+constexpr uint32_t kVarianceVersion = 1;
+
+// Entry-level wire validation: the summand must be finite, the weight a
+// positive finite double (priorities divide by it), and the priority a
+// positive finite draw (U/w with U in (0,1] and finite w is never 0,
+// inf, or NaN).
+bool ValidWireItem(double value, double weight, double priority) {
+  return std::isfinite(value) && weight > 0.0 && std::isfinite(weight) &&
+         priority > 0.0 && std::isfinite(priority);
+}
+
 // Downward event scan over thresholds. Two event types per item: the term
 // x^2 (1 - w t)/(w t) activates at t = 1/w (it is zero above, where pi = 1)
 // and disappears at t = R (the item leaves the sample). Between events
@@ -120,6 +132,115 @@ double VarianceSizedSampler::VarianceEstimate() const {
     if (pi < 1.0) v += it.value * it.value * (1.0 - pi) / pi;
   }
   return v;
+}
+
+void VarianceSizedSampler::Merge(const VarianceSizedSampler& other) {
+  if (&other == this) return;
+  ATS_CHECK(other.delta_squared_ == delta_squared_);
+  if (other.items_.empty()) return;
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  dirty_ = true;
+}
+
+void VarianceSizedSampler::SerializeTo(ByteWriter& w) const {
+  WriteSketchHeader(w, kVarianceMagic, kVarianceVersion);
+  w.WriteDouble(delta_squared_);
+  WriteRngState(w, rng_.State());
+  w.WriteU64(items_.size());
+  for (const VarianceSizedItem& it : items_) {
+    w.WriteU64(it.key);
+    w.WriteDouble(it.value);
+    w.WriteDouble(it.weight);
+    w.WriteDouble(it.priority);
+  }
+}
+
+std::optional<VarianceSizedSampler> VarianceSizedSampler::Deserialize(
+    ByteReader& r) {
+  if (!ReadSketchHeader(r, kVarianceMagic, kVarianceVersion)) {
+    return std::nullopt;
+  }
+  const auto delta_squared = r.ReadDouble();
+  if (!delta_squared || !(*delta_squared > 0.0) ||
+      !std::isfinite(*delta_squared)) {
+    return std::nullopt;
+  }
+  const auto rng_state = ReadRngState(r);
+  if (!rng_state) return std::nullopt;
+  const auto count = r.ReadU64();
+  if (!count) return std::nullopt;
+  VarianceSizedSampler sampler(*delta_squared, /*seed=*/1);
+  sampler.rng_.SetState(*rng_state);
+  for (uint64_t i = 0; i < *count; ++i) {
+    const auto key = r.ReadU64();
+    const auto value = r.ReadDouble();
+    const auto weight = r.ReadDouble();
+    const auto priority = r.ReadDouble();
+    if (!key.has_value() || !value || !weight || !priority) {
+      return std::nullopt;
+    }
+    if (!ValidWireItem(*value, *weight, *priority)) return std::nullopt;
+    sampler.items_.push_back(
+        VarianceSizedItem{*key, *value, *weight, *priority});
+  }
+  return sampler;
+}
+
+FrameFault VarianceSizedSampler::DiagnoseFrame(std::string_view frame) {
+  const FrameFault f =
+      ClassifyFrameBytes(frame, kVarianceMagic, kVarianceVersion);
+  if (f != FrameFault::kNone) return f;
+  return Deserialize(frame).has_value() ? FrameFault::kNone
+                                        : FrameFault::kCorruptBody;
+}
+
+std::optional<VarianceSizedSampler::FrameView>
+VarianceSizedSampler::DeserializeView(std::string_view frame) {
+  auto r = OpenCheckedFrame(frame, kVarianceMagic, kVarianceVersion);
+  if (!r) return std::nullopt;
+  const auto delta_squared = r->ReadDouble();
+  if (!delta_squared || !(*delta_squared > 0.0) ||
+      !std::isfinite(*delta_squared)) {
+    return std::nullopt;
+  }
+  if (!ReadRngState(*r)) return std::nullopt;
+  const auto count = r->ReadU64();
+  if (!count) return std::nullopt;
+  const std::string_view entries = r->Rest();
+  // Division-form length check: immune to count * stride overflow.
+  if (entries.size() % FrameView::kStride != 0 ||
+      *count != entries.size() / FrameView::kStride) {
+    return std::nullopt;
+  }
+  FrameView view;
+  view.delta_squared_ = *delta_squared;
+  view.entries_ = entries;
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (!ValidWireItem(view.value(i), view.weight(i), view.priority(i))) {
+      return std::nullopt;
+    }
+  }
+  return view;
+}
+
+bool VarianceSizedSampler::MergeManyFrames(
+    std::span<const std::string_view> frames) {
+  // Vet every frame before the first one is applied (all-or-nothing).
+  std::vector<FrameView> views;
+  views.reserve(frames.size());
+  for (std::string_view f : frames) {
+    auto view = DeserializeView(f);
+    if (!view || view->delta_squared() != delta_squared_) return false;
+    views.push_back(*view);
+  }
+  for (const FrameView& v : views) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      items_.push_back(
+          VarianceSizedItem{v.key(i), v.value(i), v.weight(i), v.priority(i)});
+      dirty_ = true;
+    }
+  }
+  return true;
 }
 
 }  // namespace ats

@@ -26,11 +26,17 @@
 #define ATS_SAMPLERS_VARIANCE_SIZED_H_
 
 #include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ats/core/random.h"
 #include "ats/core/threshold.h"
 #include "ats/util/memory.h"
+#include "ats/util/serialize.h"
 
 namespace ats {
 
@@ -83,6 +89,75 @@ class VarianceSizedSampler {
   // grows linearly -- which is exactly what the accounting should show.
   size_t MemoryFootprint() const { return VectorFootprint(items_); }
 
+  /// Merges a sampler over a disjoint stream. Because this sampler
+  /// retains its whole stream (the maximal oversampling, see the file
+  /// comment), the union of two streams is literally the concatenation
+  /// of the retained item columns -- the merged prefix threshold then
+  /// falls out of the same exact event scan. Both samplers must target
+  /// the same delta^2. Self-merge is a no-op.
+  void Merge(const VarianceSizedSampler& other);
+
+  // --- Versioned wire format (magic "VSZ1") ---
+  //
+  // Frame: header, the delta^2 target, RNG state (a restored sampler
+  // continues the exact priority stream), then the retained item column
+  // in arrival order -- count, then count fixed-stride entries of
+  // (key u64, value f64, weight f64, priority f64). Arrival order is
+  // canonical, so serialize-deserialize-serialize is byte-stable.
+
+  void SerializeTo(ByteWriter& w) const;
+  static std::optional<VarianceSizedSampler> Deserialize(ByteReader& r);
+  std::string SerializeToString() const { return SerializeSketch(*this); }
+  static std::optional<VarianceSizedSampler> Deserialize(
+      std::string_view bytes) {
+    return DeserializeSketch<VarianceSizedSampler>(bytes);
+  }
+
+  /// Typed rejection reason for a frame Deserialize would refuse:
+  /// structural cause first (kTruncated / kBadMagic / kBadVersion /
+  /// checksum -> kCorruptBody), kCorruptBody for field- or entry-level
+  /// violations, kNone iff the frame parses.
+  static FrameFault DiagnoseFrame(std::string_view frame);
+
+  /// Zero-copy read-only view over a whole serialized frame: the outer
+  /// checksum/header/field layers are validated (including every entry's
+  /// fields), then the fixed-stride entry region is exposed in place.
+  /// Borrows the frame's storage; must not outlive it.
+  class FrameView {
+   public:
+    double delta_squared() const { return delta_squared_; }
+    size_t size() const { return entries_.size() / kStride; }
+    uint64_t key(size_t i) const { return ReadAt<uint64_t>(i, 0); }
+    double value(size_t i) const { return ReadAt<double>(i, 8); }
+    double weight(size_t i) const { return ReadAt<double>(i, 16); }
+    double priority(size_t i) const { return ReadAt<double>(i, 24); }
+
+   private:
+    friend class VarianceSizedSampler;
+    static constexpr size_t kStride = sizeof(uint64_t) + 3 * sizeof(double);
+
+    template <typename T>
+    T ReadAt(size_t i, size_t offset) const {
+      T v;
+      std::memcpy(&v, entries_.data() + i * kStride + offset, sizeof(T));
+      return v;
+    }
+
+    double delta_squared_ = 0.0;
+    std::string_view entries_;
+  };
+
+  /// Parses a SerializeToString buffer; nullopt on exactly the inputs
+  /// Deserialize rejects. Allocation-free.
+  static std::optional<FrameView> DeserializeView(std::string_view frame);
+
+  /// Merge straight off the wire: observationally identical to
+  /// deserializing every frame and merging with Merge() in span order.
+  /// Every frame must target this sampler's delta^2. Returns false --
+  /// sampler observably unchanged -- if ANY frame fails validation; all
+  /// frames are vetted before the first is applied.
+  bool MergeManyFrames(std::span<const std::string_view> frames);
+
  private:
   void Refresh() const;
 
@@ -92,6 +167,8 @@ class VarianceSizedSampler {
   mutable bool dirty_ = true;
   mutable double threshold_ = kInfiniteThreshold;
 };
+
+static_assert(MergeableSketch<VarianceSizedSampler>);
 
 }  // namespace ats
 

@@ -34,6 +34,11 @@ class ByteWriter {
   void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
   void WriteDouble(double v) { Append(&v, sizeof(v)); }
+  // Raw byte append, for container formats embedding a length-prefixed
+  // nested body serialized into a scratch writer.
+  void WriteBytes(std::string_view bytes) {
+    Append(bytes.data(), bytes.size());
+  }
 
   const std::string& bytes() const { return bytes_; }
   std::string Take() { return std::move(bytes_); }
@@ -56,6 +61,16 @@ class ByteReader {
   std::optional<double> ReadDouble() { return Read<double>(); }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  // Advances past `n` bytes without reading them; false (position
+  // unchanged) when fewer than `n` remain. Container formats use this to
+  // step over a length-prefixed nested body after handing the segment to
+  // the nested parser.
+  bool Skip(size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    pos_ += n;
+    return true;
+  }
 
   // The unconsumed tail. Zero-copy frame views use this to take the
   // fixed-stride entry region after reading the prefix fields, without

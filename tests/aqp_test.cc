@@ -85,6 +85,36 @@ TEST(AqpEngine, ExhaustiveScanIsExact) {
   EXPECT_LE(r.variance, 1e-20);
 }
 
+// The batched build (the default: one FillUniformsOpenZero column) and
+// the scalar reference build (one rng draw per row) must produce
+// bit-identical engines: identical estimates, variance, threshold, and
+// rows_read for every query. This is the differential oracle for
+// routing AqpEngine through the batched ingest entry point.
+TEST(AqpEngine, BatchedBuildMatchesScalarReferenceBitForBit) {
+  for (uint64_t seed : {2u, 11u, 42u}) {
+    const auto rows = MakeRows(5000, seed);
+    const AqpEngine batched(rows, seed + 1,
+                            AqpEngine::IngestMode::kBatched);
+    const AqpEngine scalar(rows, seed + 1,
+                           AqpEngine::IngestMode::kScalarReference);
+    ASSERT_EQ(batched.table_size(), scalar.table_size());
+    for (double delta : {20.0, 60.0, 200.0}) {
+      for (const auto& predicate :
+           {std::function<bool(uint64_t)>([](uint64_t) { return true; }),
+            std::function<bool(uint64_t)>(
+                [](uint64_t k) { return k % 3 == 0; })}) {
+        const auto b = batched.QuerySum(predicate, delta);
+        const auto s = scalar.QuerySum(predicate, delta);
+        EXPECT_EQ(b.estimate, s.estimate) << seed << " " << delta;
+        EXPECT_EQ(b.variance, s.variance);
+        EXPECT_EQ(b.threshold, s.threshold);
+        EXPECT_EQ(b.rows_read, s.rows_read);
+        EXPECT_EQ(b.exhausted, s.exhausted);
+      }
+    }
+  }
+}
+
 // --- Multi-objective layout ---
 
 std::vector<AqpRow> MakeLayoutRows(size_t n, uint64_t seed) {

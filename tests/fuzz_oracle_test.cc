@@ -5,7 +5,9 @@
 // adversarial weight sequences, hostile wire bytes against randomized
 // sampler states across every frame family).
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <span>
@@ -21,9 +23,12 @@
 #include "ats/core/bottom_k.h"
 #include "ats/core/simd/simd_dispatch.h"
 #include "ats/persist/checkpoint.h"
+#include "ats/samplers/budget_sampler.h"
+#include "ats/samplers/multi_objective.h"
 #include "ats/samplers/multi_stratified.h"
 #include "ats/samplers/sliding_window.h"
 #include "ats/samplers/time_decay.h"
+#include "ats/samplers/variance_sized.h"
 #include "ats/sketch/kmv.h"
 #include "ats/sketch/lcs_merge.h"
 #include "ats/util/stats.h"
@@ -166,42 +171,179 @@ TEST_P(FuzzSweep, MultiStratifiedInvariantsUnderRandomStreams) {
   }
 }
 
-// --- Hostile-input parity for the time-axis frames (SWN1 / TDK1) ------
+// --- Hostile-input parity, table-driven over every frame kind ---------
 //
-// The BTK/KMV-era formats get their truncation/bit-flip sweeps in
-// deserialize_view_test.cc over fixed sampler states; here the SAME
-// hostility contract is enforced for the PR-4 time-axis frames over
-// RANDOMIZED sampler states: every strict prefix and every single-bit
+// The hostility contract -- every strict prefix and every single-bit
 // corruption of a valid frame must fail cleanly through BOTH parse
 // paths (eager Deserialize and zero-copy DeserializeView), and an
 // invalid frame inside a MergeManyFrames fan-in must leave the target
-// sampler observably unchanged.
+// byte-identical -- is enforced over RANDOMIZED sampler states for
+// every registered frame kind. Adding a wire format means adding ONE
+// registry row; the sweep then covers it at every seed automatically.
+// (tools/check_wire_docs.py separately fails CI if a registered magic
+// has no WIRE_FORMAT.md section.)
 
 SlidingWindowSampler RandomWindowSampler(uint64_t seed) {
   Xoshiro256 rng(seed);
-  const size_t k = 4 + rng.NextBelow(12);
-  SlidingWindowSampler sampler(k, /*window=*/1.0, seed + 99);
-  const int arrivals = 50 + static_cast<int>(rng.NextBelow(300));
+  SlidingWindowSampler sampler(/*k=*/8, /*window=*/1.0, seed + 99);
+  const int arrivals = 30 + static_cast<int>(rng.NextBelow(120));
   double time = 0.0;
   for (int i = 0; i < arrivals; ++i) {
     time += 0.02 * rng.NextDoubleOpenZero();
-    sampler.Arrive(time, static_cast<uint64_t>(i));
+    sampler.Arrive(time, seed * 100000 + static_cast<uint64_t>(i));
   }
   return sampler;
 }
 
 TimeDecaySampler RandomDecaySampler(uint64_t seed) {
   Xoshiro256 rng(seed);
-  const size_t k = 4 + rng.NextBelow(12);
-  TimeDecaySampler sampler(k, seed + 7);
-  const int items = 50 + static_cast<int>(rng.NextBelow(300));
+  TimeDecaySampler sampler(/*k=*/8, seed + 7);
+  const int items = 30 + static_cast<int>(rng.NextBelow(120));
   double time = 0.0;
   for (int i = 0; i < items; ++i) {
     time += 0.05 * rng.NextDoubleOpenZero();
-    sampler.Add(static_cast<uint64_t>(i),
+    sampler.Add(seed * 100000 + static_cast<uint64_t>(i),
                 std::exp(0.5 * rng.NextGaussian()), 1.0, time);
   }
   return sampler;
+}
+
+BottomK<uint64_t> RandomBottomK(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BottomK<uint64_t> sketch(8);
+  const int offers = 30 + static_cast<int>(rng.NextBelow(120));
+  for (int i = 0; i < offers; ++i) {
+    sketch.Offer(rng.NextDoubleOpenZero(),
+                 seed * 100000 + static_cast<uint64_t>(i));
+  }
+  return sketch;
+}
+
+PrioritySampler RandomPrioritySampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  PrioritySampler sampler(/*k=*/8, seed + 3,
+                          /*coordinated=*/seed % 2 == 0);
+  const int items = 30 + static_cast<int>(rng.NextBelow(120));
+  for (int i = 0; i < items; ++i) {
+    sampler.Add(seed * 100000 + static_cast<uint64_t>(i),
+                std::exp(0.5 * rng.NextGaussian()));
+  }
+  return sampler;
+}
+
+KmvSketch RandomKmvSketch(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  KmvSketch sketch(8, 1.0, /*hash_salt=*/0x5eed);
+  const int keys = 30 + static_cast<int>(rng.NextBelow(120));
+  for (int i = 0; i < keys; ++i) sketch.AddKey(rng.Next());
+  return sketch;
+}
+
+MultiStratifiedSampler RandomStratifiedSampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  MultiStratifiedSampler sampler(/*num_dimensions=*/2, /*k=*/4, seed + 5);
+  const int items = 30 + static_cast<int>(rng.NextBelow(80));
+  for (int i = 0; i < items; ++i) {
+    const uint64_t key = seed * 100000 + static_cast<uint64_t>(i);
+    sampler.Add(key, {key % 3, key % 5}, 1.0 + rng.NextDouble());
+  }
+  return sampler;
+}
+
+VarianceSizedSampler RandomVarianceSampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  VarianceSizedSampler sampler(/*delta_squared=*/0.5, seed + 11);
+  const int items = 30 + static_cast<int>(rng.NextBelow(80));
+  for (int i = 0; i < items; ++i) {
+    const double weight = std::exp(0.5 * rng.NextGaussian());
+    sampler.Add(seed * 100000 + static_cast<uint64_t>(i), weight, weight);
+  }
+  return sampler;
+}
+
+MultiObjectiveSampler RandomObjectiveSampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  MultiObjectiveSampler sampler(/*num_objectives=*/2, /*k=*/6, seed + 13);
+  const int items = 30 + static_cast<int>(rng.NextBelow(80));
+  for (int i = 0; i < items; ++i) {
+    sampler.Add(seed * 100000 + static_cast<uint64_t>(i),
+                {std::exp(0.4 * rng.NextGaussian()),
+                 std::exp(0.4 * rng.NextGaussian())},
+                1.0 + rng.NextDouble());
+  }
+  return sampler;
+}
+
+BudgetSampler RandomBudgetSampler(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BudgetSampler sampler(/*budget=*/12.0, seed + 17);
+  const int items = 30 + static_cast<int>(rng.NextBelow(80));
+  for (int i = 0; i < items; ++i) {
+    sampler.Add(seed * 100000 + static_cast<uint64_t>(i),
+                /*size=*/0.5 + rng.NextDoubleOpenZero(),
+                /*value=*/rng.NextDouble(),
+                /*weight=*/std::exp(0.5 * rng.NextGaussian()));
+  }
+  return sampler;
+}
+
+// One registered frame kind: how to build a randomized valid frame and
+// how to run each parse path. `check_merge_fail_closed` feeds a good
+// and a corrupted frame through MergeManyFrames and asserts the target
+// stays byte-identical (all-or-nothing).
+struct FrameKindEntry {
+  const char* name;
+  std::function<std::string(uint64_t)> make_frame;
+  std::function<bool(std::string_view)> parse_eager;
+  std::function<bool(std::string_view)> parse_view;
+  std::function<void(uint64_t, const std::string&)> check_merge_fail_closed;
+};
+
+template <typename Sketch, typename MakeSampler>
+FrameKindEntry RegisterFrameKind(const char* name, MakeSampler make) {
+  FrameKindEntry entry;
+  entry.name = name;
+  entry.make_frame = [make](uint64_t seed) {
+    return make(seed).SerializeToString();
+  };
+  entry.parse_eager = [](std::string_view bytes) {
+    return Sketch::Deserialize(bytes).has_value();
+  };
+  entry.parse_view = [](std::string_view bytes) {
+    return Sketch::DeserializeView(bytes).has_value();
+  };
+  entry.check_merge_fail_closed = [make](uint64_t seed,
+                                         const std::string& good) {
+    Sketch target = make(seed);
+    const std::string before = target.SerializeToString();
+    std::string corrupt = good;
+    corrupt[corrupt.size() / 2] =
+        static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x10);
+    const std::vector<std::string_view> frames{good, corrupt};
+    EXPECT_FALSE(target.MergeManyFrames(frames));
+    EXPECT_EQ(target.SerializeToString(), before);
+  };
+  return entry;
+}
+
+// The registry: one row per versioned frame kind. Shape parameters are
+// FIXED per row (only contents are randomized) so the frames in a
+// MergeManyFrames fan-in are always merge-compatible.
+std::vector<FrameKindEntry> FrameKindRegistry() {
+  return {
+      RegisterFrameKind<KmvSketch>("KMV2", RandomKmvSketch),
+      RegisterFrameKind<BottomK<uint64_t>>("BTK2", RandomBottomK),
+      RegisterFrameKind<PrioritySampler>("PSM2", RandomPrioritySampler),
+      RegisterFrameKind<SlidingWindowSampler>("SWN1", RandomWindowSampler),
+      RegisterFrameKind<TimeDecaySampler>("TDK1", RandomDecaySampler),
+      RegisterFrameKind<MultiStratifiedSampler>("MSS1",
+                                                RandomStratifiedSampler),
+      RegisterFrameKind<VarianceSizedSampler>("VSZ1",
+                                              RandomVarianceSampler),
+      RegisterFrameKind<MultiObjectiveSampler>("MOB1",
+                                               RandomObjectiveSampler),
+      RegisterFrameKind<BudgetSampler>("BGT1", RandomBudgetSampler),
+  };
 }
 
 // Every strict prefix and every single-bit flip of `frame` must be
@@ -227,50 +369,28 @@ void ExpectHostileBytesFailCleanly(const std::string& frame,
   EXPECT_TRUE(parse_view(frame));
 }
 
-TEST_P(FuzzSweep, WindowFrameHostileBytesFailCleanly) {
-  const std::string frame =
-      RandomWindowSampler(GetParam() * 37 + 11).SerializeToString();
-  ExpectHostileBytesFailCleanly(
-      frame,
-      [](std::string_view bytes) {
-        return SlidingWindowSampler::Deserialize(bytes).has_value();
-      },
-      [](std::string_view bytes) {
-        return SlidingWindowSampler::DeserializeView(bytes).has_value();
-      });
-
-  // All-or-nothing aggregation: one corrupt frame in the fan-in leaves
-  // the target byte-identical (serialization canonicalizes expiry at
-  // last_time, so equal bytes == equal observable state).
-  SlidingWindowSampler target = RandomWindowSampler(GetParam() * 41 + 3);
-  const std::string before = target.SerializeToString();
-  std::string corrupt = frame;
-  corrupt[corrupt.size() / 2] =
-      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x10);
-  const std::vector<std::string_view> frames{frame, corrupt};
-  EXPECT_FALSE(target.MergeManyFrames(frames));
-  EXPECT_EQ(target.SerializeToString(), before);
+TEST_P(FuzzSweep, RegisteredFrameKindsHostileBytesFailCleanly) {
+  for (const FrameKindEntry& entry : FrameKindRegistry()) {
+    SCOPED_TRACE(entry.name);
+    const std::string frame = entry.make_frame(GetParam() * 37 + 11);
+    ExpectHostileBytesFailCleanly(frame, entry.parse_eager,
+                                  entry.parse_view);
+    entry.check_merge_fail_closed(GetParam() * 41 + 3, frame);
+  }
 }
 
-TEST_P(FuzzSweep, DecayFrameHostileBytesFailCleanly) {
-  const std::string frame =
-      RandomDecaySampler(GetParam() * 53 + 29).SerializeToString();
-  ExpectHostileBytesFailCleanly(
-      frame,
-      [](std::string_view bytes) {
-        return TimeDecaySampler::Deserialize(bytes).has_value();
-      },
-      [](std::string_view bytes) {
-        return TimeDecaySampler::DeserializeView(bytes).has_value();
-      });
-
-  TimeDecaySampler target = RandomDecaySampler(GetParam() * 59 + 17);
-  const std::string before = target.SerializeToString();
-  std::string corrupt = frame;
-  corrupt.resize(corrupt.size() - 1 - GetParam() % 8);  // truncated tail
-  const std::vector<std::string_view> frames{frame, corrupt};
-  EXPECT_FALSE(target.MergeManyFrames(frames));
-  EXPECT_EQ(target.SerializeToString(), before);
+TEST_P(FuzzSweep, RegisteredFrameKindsRejectTruncatedMergeTails) {
+  // A truncated (not bit-flipped) frame in the fan-in: the same
+  // all-or-nothing contract, hitting the length-validation paths
+  // rather than the checksum.
+  for (const FrameKindEntry& entry : FrameKindRegistry()) {
+    SCOPED_TRACE(entry.name);
+    const std::string frame = entry.make_frame(GetParam() * 53 + 29);
+    std::string corrupt = frame;
+    corrupt.resize(corrupt.size() - 1 - GetParam() % 8);
+    EXPECT_FALSE(entry.parse_eager(corrupt));
+    EXPECT_FALSE(entry.parse_view(corrupt));
+  }
 }
 
 TEST_P(FuzzSweep, VectorizedIngestMatchesScalarDispatchAtEverySeed) {
@@ -493,7 +613,8 @@ TEST_P(FuzzSweep, CheckpointHostileFilesFailClosedWithTypedReasons) {
     } else if (pos < 8) {
       want = CheckpointFault::kBadVersion;
     } else if (pos < 12) {
-      // scheme_kind: out of [1, 4] is kBadKind; a flip that lands on
+      // scheme_kind: out of [kMinSchemeKind, kMaxSchemeKind] is
+      // kBadKind; a flip that lands on
       // another valid kind falls through to the checksum.
       const uint32_t flipped =
           static_cast<uint32_t>(persist::SchemeKind::kKmv) ^

@@ -8,10 +8,15 @@
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "ats/persist/checkpoint.h"
+#include "ats/samplers/budget_sampler.h"
+#include "ats/samplers/multi_objective.h"
+#include "ats/samplers/multi_stratified.h"
+#include "ats/samplers/variance_sized.h"
 #include "ats/sketch/kmv.h"
 
 namespace ats::persist {
@@ -181,6 +186,73 @@ TEST(CheckpointRecovery, WrongExpectedKindIsBadKind) {
   EXPECT_EQ(RestoreFromCheckpoint(path, SchemeKind::kKmv, &victim),
             CheckpointFault::kBadKind);
   EXPECT_EQ(victim.SerializeToString(), before.SerializeToString());
+}
+
+TEST(CheckpointRecovery, NewSchemeKindsRejectEveryCrossRestore) {
+  // One intact checkpoint per PR-9 scheme kind; opening any of them
+  // with any OTHER expected kind must be kBadKind -- the wrapper's
+  // kind gate fires before a single payload byte is parsed.
+  MultiStratifiedSampler mss(/*num_dimensions=*/2, /*k=*/4, /*seed=*/1);
+  for (uint64_t i = 0; i < 24; ++i) mss.Add(i, {i % 3, i % 4}, 1.0 + i);
+  VarianceSizedSampler vsz(/*delta_squared=*/0.5, /*seed=*/1);
+  for (uint64_t i = 0; i < 24; ++i) vsz.Add(i, 1.0, 1.0 + 0.1 * i);
+  MultiObjectiveSampler mob(/*num_objectives=*/2, /*k=*/4, /*seed=*/1);
+  for (uint64_t i = 0; i < 24; ++i) mob.Add(i, {1.0, 2.0}, 1.0);
+  BudgetSampler bgt(/*budget=*/8.0, /*seed=*/1);
+  for (uint64_t i = 0; i < 24; ++i) bgt.Add(i, 1.0, 1.0, 1.0);
+
+  struct Entry {
+    SchemeKind kind;
+    const char* name;
+    std::string payload;
+  };
+  const std::vector<Entry> entries = {
+      {SchemeKind::kMultiStratified, "mss", mss.SerializeToString()},
+      {SchemeKind::kVarianceSized, "vsz", vsz.SerializeToString()},
+      {SchemeKind::kMultiObjective, "mob", mob.SerializeToString()},
+      {SchemeKind::kBudget, "bgt", bgt.SerializeToString()},
+  };
+  for (const Entry& written : entries) {
+    const std::string path =
+        TempPath((std::string("cross_") + written.name).c_str());
+    ASSERT_EQ(CheckpointWriter::Write(path, written.kind, /*epoch=*/1,
+                                      written.payload),
+              CheckpointFault::kNone);
+    for (const Entry& expected : entries) {
+      if (expected.kind == written.kind) continue;
+      CheckpointReader reader;
+      ASSERT_EQ(CheckpointReader::OpenView(path, &reader),
+                CheckpointFault::kNone);
+      // Typed restore: expecting the wrong new kind trips the gate and
+      // leaves the target byte-identical.
+      VarianceSizedSampler victim(0.5, 2);
+      victim.Add(7, 1.0, 1.0);
+      const std::string before = victim.SerializeToString();
+      EXPECT_EQ(RestoreFromCheckpoint(path, expected.kind, &victim),
+                CheckpointFault::kBadKind)
+          << written.name << " opened as " << expected.name;
+      EXPECT_EQ(victim.SerializeToString(), before);
+    }
+  }
+}
+
+TEST(CheckpointRecovery, RightKindForeignPayloadIsBadPayload) {
+  // The kind field claims kVarianceSized but the wrapped frame is an
+  // MSS1 body: the wrapper validates, the family parser refuses the
+  // foreign magic, and the restore fails closed as kBadPayload.
+  MultiStratifiedSampler mss(2, 4, 1);
+  for (uint64_t i = 0; i < 16; ++i) mss.Add(i, {i % 3, i % 4}, 1.0);
+  const std::string path = TempPath("foreign_payload");
+  ASSERT_EQ(CheckpointWriter::Write(path, SchemeKind::kVarianceSized,
+                                    /*epoch=*/2, mss.SerializeToString()),
+            CheckpointFault::kNone);
+  VarianceSizedSampler victim(0.5, 3);
+  victim.Add(9, 2.0, 1.5);
+  const std::string before = victim.SerializeToString();
+  EXPECT_EQ(
+      RestoreFromCheckpoint(path, SchemeKind::kVarianceSized, &victim),
+      CheckpointFault::kBadPayload);
+  EXPECT_EQ(victim.SerializeToString(), before);
 }
 
 TEST(CheckpointRecovery, PoisonPayloadIsBadPayloadAndFailsClosed) {

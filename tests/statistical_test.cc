@@ -24,6 +24,8 @@
 #include "ats/core/concurrent_sampler.h"
 #include "ats/core/ht_estimator.h"
 #include "ats/core/random.h"
+#include "ats/samplers/multi_stratified.h"
+#include "ats/samplers/variance_sized.h"
 #include "ats/util/stats.h"
 
 namespace ats {
@@ -111,6 +113,54 @@ TEST(StatisticalInclusion, ConcurrentMergedSampleFrequenciesAreUniform) {
             ChiSquareCritical999(static_cast<int>(n) - 1));
 }
 
+TEST(StatisticalInclusion, MultiStratifiedFrequenciesAreUniform) {
+  // 60 keys under two stratification dimensions (key % 3 and key % 4):
+  // the shift k -> k+1 (mod 60) permutes the keys transitively while
+  // only relabeling strata, and every dimension-0 stratum has 20
+  // members, every dimension-1 stratum 15, so by symmetry every key has
+  // the SAME inclusion probability (retained while in the bottom-k of
+  // at least one of its strata). Chi-squaring the per-key inclusion
+  // counts against uniformity therefore tests the whole retention
+  // pipeline -- priority generation, per-stratum bottom-k, max-of-
+  // thresholds composition -- at once.
+  const size_t n = 60;
+  const size_t k = 5;
+  const int replicates = 1500;
+  std::vector<int64_t> counts(n, 0);
+  for (int t = 0; t < replicates; ++t) {
+    MultiStratifiedSampler sampler(/*num_dimensions=*/2, k,
+                                   kSeedBase + static_cast<uint64_t>(t));
+    for (uint64_t key = 0; key < n; ++key) {
+      sampler.Add(key, {key % 3, key % 4}, 1.0);
+    }
+    for (const auto& e : sampler.Sample()) {
+      counts[static_cast<size_t>(e.key)] += 1;
+    }
+  }
+  EXPECT_LT(ChiSquareUniform(counts),
+            ChiSquareCritical999(static_cast<int>(n) - 1));
+}
+
+TEST(StatisticalInclusion, VarianceSizedFrequenciesAreUniform) {
+  // With equal weights every item's priority is iid Uniform and the
+  // stopping threshold treats items exchangeably, so inclusion
+  // (priority below the stream's stopping threshold) is equiprobable
+  // across items.
+  const size_t n = 40;
+  const int replicates = 2000;
+  std::vector<int64_t> counts(n, 0);
+  for (int t = 0; t < replicates; ++t) {
+    VarianceSizedSampler sampler(/*delta_squared=*/2.0,
+                                 kSeedBase + static_cast<uint64_t>(t));
+    for (uint64_t key = 0; key < n; ++key) sampler.Add(key, 1.0, 1.0);
+    for (const auto& e : sampler.Sample()) {
+      counts[static_cast<size_t>(e.key)] += 1;
+    }
+  }
+  EXPECT_LT(ChiSquareUniform(counts),
+            ChiSquareCritical999(static_cast<int>(n) - 1));
+}
+
 // --- HT estimator unbiasedness -----------------------------------------
 
 TEST(StatisticalHt, SubsetSumEstimatesAreUnbiasedWithinCi) {
@@ -190,6 +240,77 @@ TEST(StatisticalHt, ConcurrentSnapshotTotalsAreUnbiasedWithinCi) {
     conc.AddBatch(population);
     estimates.Add(HtTotal(conc.Sample()));
   }
+  const double se =
+      estimates.StdDev() / std::sqrt(static_cast<double>(replicates));
+  EXPECT_NEAR(estimates.mean(), truth, 4.4 * se);
+}
+
+TEST(StatisticalHt, MultiStratifiedTotalsAreUnbiasedWithinCi) {
+  // Theorem 6 upgrades the max-of-substitutable-thresholds rule to full
+  // substitutability, so the plain HT estimator with
+  // pi_i = F(max_s tau_s) applies. Over replicates the HT total of the
+  // retained sample must center on the true population total.
+  const size_t n = 60;
+  const size_t k = 5;
+  const int replicates = 1500;
+
+  Xoshiro256 pop_rng(77);
+  std::vector<double> values(n);
+  double truth = 0.0;
+  for (double& v : values) {
+    v = std::exp(0.5 * pop_rng.NextGaussian());
+    truth += v;
+  }
+
+  RunningStat estimates;
+  for (int t = 0; t < replicates; ++t) {
+    MultiStratifiedSampler sampler(/*num_dimensions=*/2, k,
+                                   kSeedBase + static_cast<uint64_t>(t));
+    for (uint64_t key = 0; key < n; ++key) {
+      sampler.Add(key, {key % 3, key % 4}, values[key]);
+    }
+    estimates.Add(HtTotal(sampler.Sample()));
+  }
+  const double se =
+      estimates.StdDev() / std::sqrt(static_cast<double>(replicates));
+  EXPECT_NEAR(estimates.mean(), truth, 4.4 * se);
+}
+
+TEST(StatisticalHt, VarianceSizedTotalsAreUnbiasedAndHitTheTarget) {
+  // Section 3.9: the variance-sized stopping threshold is a stopping
+  // time in the downward threshold scan, hence substitutable, so the
+  // HT total stays unbiased -- and whenever the threshold is finite the
+  // HT variance estimate at the stop equals delta^2 exactly (the scan
+  // stops at the crossing).
+  const size_t n = 150;
+  const double delta_squared = 4.0;
+  const int replicates = 1500;
+
+  Xoshiro256 pop_rng(99);
+  std::vector<double> weights(n);
+  double truth = 0.0;
+  for (double& w : weights) {
+    w = std::exp(0.8 * pop_rng.NextGaussian());
+    truth += w;  // PPS case: value == weight
+  }
+
+  RunningStat estimates;
+  int finite_thresholds = 0;
+  for (int t = 0; t < replicates; ++t) {
+    VarianceSizedSampler sampler(delta_squared,
+                                 kSeedBase + static_cast<uint64_t>(t));
+    for (uint64_t key = 0; key < n; ++key) {
+      sampler.Add(key, weights[key], weights[key]);
+    }
+    estimates.Add(HtTotal(sampler.Sample()));
+    if (std::isfinite(sampler.Threshold())) {
+      ++finite_thresholds;
+      EXPECT_NEAR(sampler.VarianceEstimate(), delta_squared,
+                  1e-9 * delta_squared);
+    }
+  }
+  // The target must actually bind for the exactness claim to be tested.
+  ASSERT_GT(finite_thresholds, replicates / 2);
   const double se =
       estimates.StdDev() / std::sqrt(static_cast<double>(replicates));
   EXPECT_NEAR(estimates.mean(), truth, 4.4 * se);

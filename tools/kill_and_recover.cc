@@ -2,24 +2,29 @@
 // torn-write claim of CheckpointWriter::Write under REAL SIGKILLs, not
 // simulated faults.
 //
-// Each cycle forks a writer child that ingests a deterministic key
-// stream and checkpoints its sketch in a tight loop; the parent sleeps
-// a random sliver of the cycle and SIGKILLs the child -- landing the
+// Each cycle forks a writer child that ingests a deterministic stream
+// and checkpoints its sketch in a tight loop; the parent sleeps a
+// random sliver of the cycle and SIGKILLs the child -- landing the
 // kill anywhere: mid-write of the temp file, between fsync and rename,
 // inside rename, or after the commit. The survivor invariant checked
 // after every kill, through BOTH open paths:
 //
 //   the checkpoint path holds either (a) nothing yet (the kill landed
 //   before the first commit ever completed: open reports kIoError), or
-//   (b) one COMPLETE, validated checkpoint whose payload parses and
-//   whose epoch is one the writer actually reached. Never a torn file
-//   observable as valid, and never a validation fault other than
-//   missing-file.
+//   (b) one COMPLETE, validated checkpoint of the right scheme kind
+//   whose payload is byte-identical to the canonical sketch of an
+//   epoch the writer actually reached. Never a torn file observable as
+//   valid, and never a validation fault other than missing-file.
 //
-// Exit status 0 iff every cycle upheld the invariant and at least one
-// kill landed after a commit (so the harness demonstrably exercised
-// the recover-from-survivor path). Registered in ctest (UNIX only), so
-// the ASan/UBSan legs run it too.
+// The loop runs per family: the KMV sketch (the original cycle) and
+// the TimeDecaySampler (a non-KMV family whose TDK1 frame nests a
+// bottom-k region), so the durability claim is exercised against two
+// structurally different payloads and scheme kinds.
+//
+// Exit status 0 iff every cycle upheld the invariant and, per family,
+// at least one kill landed after a commit (so the harness demonstrably
+// exercised the recover-from-survivor path). Registered in ctest (UNIX
+// only), so the ASan/UBSan legs run it too.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -41,45 +46,76 @@ int main() {
 
 #include "ats/core/random.h"
 #include "ats/persist/checkpoint.h"
+#include "ats/samplers/time_decay.h"
 #include "ats/sketch/kmv.h"
 
 namespace {
 
-constexpr int kCycles = 30;
+constexpr int kCyclesPerFamily = 16;
 constexpr size_t kSketchK = 64;
 constexpr uint64_t kSalt = 0x5eed;
+constexpr int kBatch = 64;  // items per checkpoint; epochs are multiples
+
+// A family plugs into the harness with a fixed-shape sketch and a
+// deterministic Feed step: identical (rng seed, step) sequences yield
+// byte-identical sketches, so the parent can rebuild the one true
+// prefix frame for any surviving epoch.
+struct KmvFamily {
+  using Sketch = ats::KmvSketch;
+  static constexpr ats::persist::SchemeKind kKind =
+      ats::persist::SchemeKind::kKmv;
+  static constexpr const char* kName = "kmv";
+  static Sketch Make() { return ats::KmvSketch(kSketchK, 1.0, kSalt); }
+  static void Feed(Sketch& s, ats::Xoshiro256& rng, uint64_t /*step*/) {
+    s.AddKey(rng.Next());
+  }
+};
+
+struct TimeDecayFamily {
+  using Sketch = ats::TimeDecaySampler;
+  static constexpr ats::persist::SchemeKind kKind =
+      ats::persist::SchemeKind::kTimeDecay;
+  static constexpr const char* kName = "time_decay";
+  static Sketch Make() { return ats::TimeDecaySampler(kSketchK, kSalt); }
+  static void Feed(Sketch& s, ats::Xoshiro256& rng, uint64_t step) {
+    const double weight = 0.5 + rng.NextDoubleOpenZero();
+    s.Add(rng.Next(), weight, /*value=*/weight,
+          /*time=*/0.001 * static_cast<double>(step));
+  }
+};
 
 // The writer child: deterministic ingest, checkpoint after every batch,
-// forever (until killed). Same stream every cycle, so the parent can
-// validate any surviving epoch against the one true prefix sketch.
+// forever (until killed).
+template <typename Family>
 [[noreturn]] void WriterChild(const std::string& path) {
-  ats::KmvSketch sketch(kSketchK, 1.0, kSalt);
+  typename Family::Sketch sketch = Family::Make();
   ats::Xoshiro256 rng(1);
   uint64_t epoch = 0;
   for (;;) {
-    for (int i = 0; i < 64; ++i) {
-      sketch.AddKey(rng.Next());
+    for (int i = 0; i < kBatch; ++i) {
+      Family::Feed(sketch, rng, epoch);
       ++epoch;
     }
-    ats::persist::CheckpointWriter::Write(
-        path, ats::persist::SchemeKind::kKmv, epoch,
-        sketch.SerializeToString());
+    ats::persist::CheckpointWriter::Write(path, Family::kKind, epoch,
+                                          sketch.SerializeToString());
     // No pacing: back-to-back write-rename cycles maximize the chance
     // the SIGKILL lands inside the commit sequence.
   }
 }
 
-// Rebuilds the reference sketch for `epoch` keys of the child's stream.
+// Rebuilds the reference frame for `epoch` steps of the child's stream.
+template <typename Family>
 std::string ReferenceFrame(uint64_t epoch) {
-  ats::KmvSketch sketch(kSketchK, 1.0, kSalt);
+  typename Family::Sketch sketch = Family::Make();
   ats::Xoshiro256 rng(1);
-  for (uint64_t i = 0; i < epoch; ++i) sketch.AddKey(rng.Next());
+  for (uint64_t i = 0; i < epoch; ++i) Family::Feed(sketch, rng, i);
   return sketch.SerializeToString();
 }
 
 // Validates the survivor through one open path. Returns false (after
 // printing why) on any invariant violation; sets *committed when a
 // complete checkpoint was present.
+template <typename Family>
 bool CheckSurvivor(const std::string& path, ats::persist::OpenMode mode,
                    int cycle, bool* committed) {
   using ats::persist::CheckpointFault;
@@ -90,31 +126,87 @@ bool CheckSurvivor(const std::string& path, ats::persist::OpenMode mode,
     // Legal only while no commit ever completed: rename is atomic, so
     // once a checkpoint exists the path never stops resolving.
     if (*committed) {
-      std::printf("FAIL cycle %d: checkpoint vanished after a commit\n",
-                  cycle);
+      std::printf("FAIL %s cycle %d: checkpoint vanished after a commit\n",
+                  Family::kName, cycle);
       return false;
     }
     return true;
   }
   if (fault != CheckpointFault::kNone) {
-    std::printf("FAIL cycle %d: survivor rejected: %s\n", cycle,
-                ats::persist::CheckpointFaultName(fault));
+    std::printf("FAIL %s cycle %d: survivor rejected: %s\n", Family::kName,
+                cycle, ats::persist::CheckpointFaultName(fault));
     return false;
   }
   *committed = true;
-  if (reader.epoch() == 0 || reader.epoch() % 64 != 0) {
-    std::printf("FAIL cycle %d: impossible epoch %" PRIu64 "\n", cycle,
-                reader.epoch());
+  if (reader.kind() != Family::kKind) {
+    std::printf("FAIL %s cycle %d: survivor has foreign scheme kind %u\n",
+                Family::kName, cycle,
+                static_cast<unsigned>(reader.kind()));
+    return false;
+  }
+  if (reader.epoch() == 0 || reader.epoch() % kBatch != 0) {
+    std::printf("FAIL %s cycle %d: impossible epoch %" PRIu64 "\n",
+                Family::kName, cycle, reader.epoch());
     return false;
   }
   // The payload must be the exact canonical sketch of that prefix --
   // a torn or mixed image cannot fake this.
-  if (std::string(reader.payload()) != ReferenceFrame(reader.epoch())) {
-    std::printf("FAIL cycle %d: payload != reference at epoch %" PRIu64
+  if (std::string(reader.payload()) !=
+      ReferenceFrame<Family>(reader.epoch())) {
+    std::printf("FAIL %s cycle %d: payload != reference at epoch %" PRIu64
                 "\n",
-                cycle, reader.epoch());
+                Family::kName, cycle, reader.epoch());
     return false;
   }
+  return true;
+}
+
+// Runs the full kill loop for one family. Returns false on any
+// invariant violation or if no cycle ever observed a commit.
+template <typename Family>
+bool RunFamily(const std::string& dir, ats::Xoshiro256& delay_rng) {
+  const std::string path =
+      dir + "/victim_" + std::string(Family::kName) + ".ckp";
+  bool committed = false;  // has any cycle ever observed a commit
+  int committed_cycles = 0;
+  for (int cycle = 0; cycle < kCyclesPerFamily; ++cycle) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return false;
+    }
+    if (pid == 0) {
+      WriterChild<Family>(path);  // never returns
+    }
+    // Sleep 0..4ms: spans everything from "before the first write"
+    // to "dozens of commits deep".
+    ::usleep(static_cast<useconds_t>(delay_rng.NextBelow(4000)));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::printf("FAIL %s cycle %d: child did not die by SIGKILL\n",
+                  Family::kName, cycle);
+      return false;
+    }
+    if (!CheckSurvivor<Family>(path, ats::persist::OpenMode::kPreferMmap,
+                               cycle, &committed) ||
+        !CheckSurvivor<Family>(path, ats::persist::OpenMode::kBuffered,
+                               cycle, &committed)) {
+      return false;
+    }
+    if (committed) ++committed_cycles;
+  }
+
+  if (committed_cycles == 0) {
+    std::printf(
+        "FAIL %s: no cycle ever observed a committed checkpoint; the "
+        "harness never exercised recovery\n",
+        Family::kName);
+    return false;
+  }
+  std::printf("kill_and_recover[%s]: %d cycles OK (%d with a survivor)\n",
+              Family::kName, kCyclesPerFamily, committed_cycles);
   return true;
 }
 
@@ -127,47 +219,10 @@ int main() {
     std::perror("mkdtemp");
     return 1;
   }
-  const std::string path = std::string(dir) + "/victim.ckp";
 
   ats::Xoshiro256 delay_rng(0xdead);
-  bool committed = false;  // has any cycle ever observed a commit
-  int committed_cycles = 0;
-  for (int cycle = 0; cycle < kCycles; ++cycle) {
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::perror("fork");
-      return 1;
-    }
-    if (pid == 0) {
-      WriterChild(path);  // never returns
-    }
-    // Sleep 0..4ms: spans everything from "before the first write"
-    // to "dozens of commits deep".
-    ::usleep(static_cast<useconds_t>(delay_rng.NextBelow(4000)));
-    ::kill(pid, SIGKILL);
-    int status = 0;
-    ::waitpid(pid, &status, 0);
-    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
-      std::printf("FAIL cycle %d: child did not die by SIGKILL\n", cycle);
-      return 1;
-    }
-    if (!CheckSurvivor(path, ats::persist::OpenMode::kPreferMmap, cycle,
-                       &committed) ||
-        !CheckSurvivor(path, ats::persist::OpenMode::kBuffered, cycle,
-                       &committed)) {
-      return 1;
-    }
-    if (committed) ++committed_cycles;
-  }
-
-  if (committed_cycles == 0) {
-    std::printf(
-        "FAIL: no cycle ever observed a committed checkpoint; the "
-        "harness never exercised recovery\n");
-    return 1;
-  }
-  std::printf("kill_and_recover: %d cycles OK (%d with a survivor)\n",
-              kCycles, committed_cycles);
+  if (!RunFamily<KmvFamily>(dir, delay_rng)) return 1;
+  if (!RunFamily<TimeDecayFamily>(dir, delay_rng)) return 1;
   return 0;
 }
 #endif
