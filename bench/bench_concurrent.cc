@@ -9,6 +9,10 @@
 //   * BM_ConcurrentIngest/T          -- T writer threads drive the
 //     routed AddBatch entry point (striped shard locks, contended);
 //     T=1 is the single-writer baseline the scaling is judged against.
+//   * BM_ConcurrentWriterLocalIngest/T -- T registered writers drive
+//     the wait-free writer-local path (private mini-stores, epoch
+//     drain at the end); the headline number the multi-core CI job
+//     gates on: >= T/2 scaling at 8 and 16 writers (capped by cores).
 //   * BM_ConcurrentShardOwnedIngest/T -- the zero-contention upper
 //     bound: writers own disjoint shards and use AddShardBatch.
 //   * BM_ConcurrentReadWriteMix/R    -- 4 writers ingest while R
@@ -19,8 +23,10 @@
 //
 // All multi-threaded benches use real time: thread scaling is a
 // wall-clock property, CPU time sums across workers.
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -83,6 +89,47 @@ void BM_ConcurrentIngest(benchmark::State& state) {
                           static_cast<int64_t>(kStreamLen));
 }
 BENCHMARK(BM_ConcurrentIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseRealTime();
+
+// --- Writer-thread sweep over the wait-free writer-local path ---------
+
+void BM_ConcurrentWriterLocalIngest(benchmark::State& state) {
+  const size_t writers = static_cast<size_t>(state.range(0));
+  const auto items = MakeItems(2);
+  const auto slices = Slices(items, writers);
+  // Chunked batches, like a real producer: each writer cycles its block
+  // through the mailbox many times per run instead of publishing one
+  // giant batch at the end.
+  static constexpr size_t kChunk = 4096;
+  for (auto _ : state) {
+    ConcurrentPrioritySampler conc(kShards, kK);
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&conc, &slices, w] {
+        auto writer = conc.RegisterWriter();
+        const auto& slice = slices[w];
+        for (size_t i = 0; i < slice.size(); i += kChunk) {
+          const size_t len = std::min(kChunk, slice.size() - i);
+          writer.AddBatch(std::span<const Item>(slice.data() + i, len));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // The drain is part of the measured cost: the comparison against
+    // BM_ConcurrentIngest must include reconciling the mini-stores.
+    conc.Drain();
+    benchmark::DoNotOptimize(conc.TotalRetained());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStreamLen));
+}
+BENCHMARK(BM_ConcurrentWriterLocalIngest)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

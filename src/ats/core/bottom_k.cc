@@ -56,6 +56,16 @@ void PrioritySampler::Merge(const PrioritySampler& other) {
   sketch_.Merge(other.sketch_);
 }
 
+void PrioritySampler::MergeMany(
+    std::span<const PrioritySampler* const> others) {
+  std::vector<const BottomK<Item>*> inputs;
+  inputs.reserve(others.size());
+  for (const PrioritySampler* other : others) {
+    inputs.push_back(&other->sketch_);
+  }
+  sketch_.MergeMany(inputs);  // skips the sketch aliasing `this`
+}
+
 void PrioritySampler::SerializeTo(ByteWriter& w) const {
   WriteSketchHeader(w, kPrioritySamplerMagic, kPrioritySamplerVersion);
   w.WriteU32(coordinated_ ? 1 : 0);

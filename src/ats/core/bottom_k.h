@@ -436,6 +436,14 @@ class PrioritySampler {
   // self-merge (no-op).
   void Merge(const PrioritySampler& other);
 
+  // Threshold-pruned k-way union: observationally identical to folding
+  // `others` with Merge() in span order (RNG state and coordination
+  // flags do not participate in a merge), but pruned by the global min
+  // threshold first (see SampleStore::MergeMany). Inputs aliasing
+  // `this` are skipped. The concurrent tier's writer-local drain runs
+  // through this.
+  void MergeMany(std::span<const PrioritySampler* const> others);
+
   // Wire format. The RNG state travels with the sample so a restored
   // independent sampler continues the exact same priority stream.
   void SerializeTo(ByteWriter& w) const;

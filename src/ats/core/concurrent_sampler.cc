@@ -91,6 +91,12 @@ size_t ConcurrentPrioritySampler::AddShardBatch(
   return core_.AddShardBatch(shard, items);
 }
 
+ConcurrentPrioritySampler::Writer ConcurrentPrioritySampler::RegisterWriter() {
+  return core_.RegisterWriter();
+}
+
+void ConcurrentPrioritySampler::Drain() { core_.Drain(); }
+
 ConcurrentPrioritySampler::MergedSample ConcurrentPrioritySampler::Merged()
     const {
   const auto snapshot = core_.Snapshot();
@@ -136,6 +142,12 @@ size_t ConcurrentKmvSketch::AddShardKeys(size_t shard,
                                          std::span<const uint64_t> keys) {
   return core_.AddShardBatch(shard, keys);
 }
+
+ConcurrentKmvSketch::Writer ConcurrentKmvSketch::RegisterWriter() {
+  return core_.RegisterWriter();
+}
+
+void ConcurrentKmvSketch::Drain() { core_.Drain(); }
 
 double ConcurrentKmvSketch::Estimate() const {
   return core_.Snapshot()->Estimate();
@@ -184,6 +196,12 @@ size_t ConcurrentWindowSampler::AddShardBatch(
     size_t shard, std::span<const Arrival> arrivals) {
   return core_.AddShardBatch(shard, arrivals);
 }
+
+ConcurrentWindowSampler::Writer ConcurrentWindowSampler::RegisterWriter() {
+  return core_.RegisterWriter();
+}
+
+void ConcurrentWindowSampler::Drain() { core_.Drain(); }
 
 double ConcurrentWindowSampler::ImprovedThreshold(double now) const {
   SlidingWindowSampler merged = *core_.Snapshot();
@@ -242,6 +260,12 @@ size_t ConcurrentDecaySampler::AddShardBatch(
     size_t shard, std::span<const TimedItem> items) {
   return core_.AddShardBatch(shard, items);
 }
+
+ConcurrentDecaySampler::Writer ConcurrentDecaySampler::RegisterWriter() {
+  return core_.RegisterWriter();
+}
+
+void ConcurrentDecaySampler::Drain() { core_.Drain(); }
 
 double ConcurrentDecaySampler::LogKeyThreshold() const {
   return core_.Snapshot()->LogKeyThreshold();

@@ -1,0 +1,17 @@
+#include "ats/core/writer_local.h"
+
+#include "ats/core/random.h"
+#include "ats/core/shard_routing.h"
+
+namespace ats::internal {
+
+uint64_t WriterLocalSalt(uint64_t writer, uint64_t generation) {
+  if (writer == 0 && generation == 0) return 0;
+  // Mix (writer, generation) through the keyed hash so mini seeds never
+  // collide with the kShardSeedStride lattice of the authoritative
+  // shards; |1 keeps the salt nonzero (0 is reserved for the
+  // bit-equivalent first generation above).
+  return HashKey((writer << 32) | generation, kWriterLocalSeedSalt) | 1;
+}
+
+}  // namespace ats::internal

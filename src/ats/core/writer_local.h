@@ -1,0 +1,158 @@
+// Writer-local wait-free ingest machinery for the concurrent tier
+// (concurrent_sampler.h).
+//
+// The striped-lock write path serializes two writers that hit the same
+// shard. This header provides the alternative the mergeable-sample
+// algebra makes sound: every registered writer owns a private BLOCK of
+// per-shard mini-samplers and ingests into it with no shared-state
+// writes at all except two release-ordered atomics (a single-slot block
+// mailbox and a per-writer epoch counter). Because per-shard samples
+// over disjoint substreams merge exactly (the threshold-pruned MergeMany
+// engine of sample_store.h), the minis can be reconciled into the
+// authoritative shards lazily -- at epoch boundaries, by whichever
+// reader finds the cache dirty -- instead of on every batch.
+//
+// Block handoff protocol (per writer slot):
+//   * The writer takes its block with mailbox.exchange(nullptr), falls
+//     back to spare.exchange(nullptr), and allocates a fresh block only
+//     when both are empty (which happens only while a drain is holding
+//     the block -- steady state never allocates). It ingests into the
+//     block's minis with zero shared writes, then release-stores the
+//     block back into the mailbox and release-stores an incremented
+//     epoch. Every step is wait-free: one exchange, one store each.
+//   * The drainer (under the owner's drain lock) acquire-loads the
+//     epoch, and only if it moved past the recorded drained epoch,
+//     exchanges the mailbox. A null mailbox means the writer is
+//     mid-batch holding the block; the items are not lost -- they ride
+//     in the block the writer will re-publish -- so the drainer simply
+//     leaves the drained epoch stale and retries on the next drain.
+//     Taken blocks are merged into the shards, reset with a fresh
+//     generation salt, and recycled through the spare slot.
+//
+// The ordering contract that makes the epoch a valid dirtiness token:
+// the writer stores the mailbox BEFORE bumping the epoch (both
+// release), and the drainer loads the epoch BEFORE exchanging the
+// mailbox (both acquire). A drainer that observes epoch E and then a
+// non-null mailbox therefore observes every batch published up to E,
+// and records drained==E only in that case.
+#ifndef ATS_CORE_WRITER_LOCAL_H_
+#define ATS_CORE_WRITER_LOCAL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ats/util/check.h"
+
+namespace ats::internal {
+
+/// Hard cap on writer registrations per sampler lifetime. Slots are
+/// never reused (a retired slot keeps its final epoch so snapshot
+/// validation stays race-free), so this bounds TOTAL registrations,
+/// not just concurrent ones. The slot array (~64 B/slot) is allocated
+/// lazily on the first registration; samplers that only use the locked
+/// path pay nothing.
+inline constexpr size_t kMaxWriterSlots = 256;
+
+/// Seed perturbation for writer-local mini-samplers, defined in
+/// writer_local.cc. Generation 0 of writer 0 returns 0 -- those minis
+/// are seeded exactly like the authoritative shards, which is what
+/// keeps a single writer-local writer bit-equivalent to the sequential
+/// sharded reference. Every other (writer, generation) pair returns a
+/// distinct nonzero salt so no two mini-samplers ever replay the same
+/// priority stream (a reset mini continuing its old RNG would repeat
+/// its draws and bias independent-priority scenarios).
+uint64_t WriterLocalSalt(uint64_t writer, uint64_t generation);
+
+/// Registration and cross-thread handoff state for writer-local ingest.
+/// `Block` is the owner's per-writer mini-store bundle; the registry
+/// only ever touches it as an opaque pointer (it deletes leftover
+/// blocks on destruction, so Block must be complete at that point).
+template <typename Block>
+class WriterLocalRegistry {
+ public:
+  /// One writer's coordination state, padded so two writers' hot
+  /// atomics never share a cache line.
+  struct alignas(64) Slot {
+    /// The writer's published block (null while the writer or a drain
+    /// holds it). Writer: exchange-to-take, store-to-publish. Drainer:
+    /// exchange-to-take only.
+    std::atomic<Block*> mailbox{nullptr};
+    /// Recycled empty block (drainer stores, writer takes).
+    std::atomic<Block*> spare{nullptr};
+    /// Monotone batch counter, release-published by the writer AFTER
+    /// the mailbox store; the snapshot-dirtiness token.
+    std::atomic<uint64_t> epoch{0};
+    /// Mini-sampler generation counter; drives WriterLocalSalt.
+    std::atomic<uint64_t> generation{0};
+    /// Last epoch whose published content was fully merged into the
+    /// authoritative shards. Guarded by the owner's drain lock.
+    uint64_t drained_epoch = 0;
+  };
+
+  WriterLocalRegistry() = default;
+  WriterLocalRegistry(const WriterLocalRegistry&) = delete;
+  WriterLocalRegistry& operator=(const WriterLocalRegistry&) = delete;
+
+  ~WriterLocalRegistry() {
+    SlotArray* arr = slots_.load(std::memory_order_acquire);
+    if (arr == nullptr) return;
+    const size_t n = count();
+    for (size_t i = 0; i < n; ++i) {
+      delete arr->slots[i].mailbox.load(std::memory_order_acquire);
+      delete arr->slots[i].spare.load(std::memory_order_acquire);
+    }
+    delete arr;
+  }
+
+  struct Registration {
+    Slot* slot;
+    size_t index;
+  };
+
+  /// Claims the next slot. Thread-safe and lock-free (one CAS on the
+  /// lazy array, one fetch_add); checks the lifetime registration cap.
+  Registration Register() {
+    SlotArray* arr = slots_.load(std::memory_order_acquire);
+    if (arr == nullptr) {
+      SlotArray* fresh = new SlotArray();
+      if (slots_.compare_exchange_strong(arr, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        arr = fresh;
+      } else {
+        delete fresh;  // another thread won; `arr` holds the winner
+      }
+    }
+    const size_t index = count_.fetch_add(1, std::memory_order_acq_rel);
+    ATS_CHECK(index < kMaxWriterSlots);
+    return Registration{&arr->slots[index], index};
+  }
+
+  /// Number of slots ever registered. Safe from any thread.
+  size_t count() const {
+    const size_t n = count_.load(std::memory_order_acquire);
+    return n < kMaxWriterSlots ? n : kMaxWriterSlots;
+  }
+
+  /// Slot `i` (i < count()). The returned reference is stable for the
+  /// registry's lifetime; the atomics inside are safe from any thread.
+  Slot& slot(size_t i) const {
+    return slots_.load(std::memory_order_acquire)->slots[i];
+  }
+
+ private:
+  // Slots are preconstructed in one fixed array so a freshly registered
+  // slot needs no publication step beyond the count increment.
+  struct SlotArray {
+    Slot slots[kMaxWriterSlots];
+  };
+
+  std::atomic<SlotArray*> slots_{nullptr};
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace ats::internal
+
+#endif  // ATS_CORE_WRITER_LOCAL_H_

@@ -135,6 +135,102 @@ class CompareBenchTest(unittest.TestCase):
         result = run_tool([base, cur])
         self.assertEqual(result.returncode, 2)
 
+    # --- num_cpus identity for the concurrent suite ---------------------
+
+    def test_concurrent_num_cpus_mismatch_is_an_input_error(self):
+        # Thread-scaling numbers from a 1-cpu local run vs a multi-core
+        # CI run are different experiments: refuse, like a fault-profile
+        # mismatch.
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_ConcurrentIngest/8/real_time": 100.0},
+                         context={"num_cpus": 1})
+        write_bench_json(cur, {"BM_ConcurrentIngest/8/real_time": 500.0},
+                         context={"num_cpus": 16})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("num_cpus", result.stderr)
+        self.assertIn("different workloads", result.stderr)
+
+    def test_non_concurrent_num_cpus_mismatch_is_comparable(self):
+        # Core count is noise, not identity, for single-thread suites.
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_Throughput": 100.0},
+                         context={"num_cpus": 1})
+        write_bench_json(cur, {"BM_Throughput": 100.0},
+                         context={"num_cpus": 16})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_concurrent_num_cpus_in_only_one_file_is_comparable(self):
+        base, cur = self.path("base.json"), self.path("cur.json")
+        write_bench_json(base, {"BM_ConcurrentIngest/8": 100.0})
+        write_bench_json(cur, {"BM_ConcurrentIngest/8": 100.0},
+                         context={"num_cpus": 16})
+        result = run_tool([base, cur])
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    # --- --require-scaling ----------------------------------------------
+
+    def scaling_doc(self, path, per_thread, num_cpus):
+        write_bench_json(
+            path,
+            {
+                f"BM_ConcurrentWriterLocalIngest/{t}/real_time": v
+                for t, v in per_thread.items()
+            },
+            context={"num_cpus": num_cpus})
+
+    def test_scaling_gate_passes_when_met(self):
+        cur = self.path("cur.json")
+        # 8 writers on 16 cpus: required >= 4.0x; 5.0x passes.
+        self.scaling_doc(cur, {1: 100.0, 8: 500.0}, num_cpus=16)
+        result = run_tool([
+            self.path("nonexistent.json"), cur, "--missing-baseline-ok",
+            "--require-scaling", "BM_ConcurrentWriterLocalIngest"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("scaling BM_ConcurrentWriterLocalIngest/8", result.stdout)
+
+    def test_scaling_gate_fails_when_unmet(self):
+        cur = self.path("cur.json")
+        # 8 writers on 16 cpus: required >= 4.0x; 2.0x fails -- and the
+        # gate must fire even though the baseline comparison was skipped.
+        self.scaling_doc(cur, {1: 100.0, 8: 200.0}, num_cpus=16)
+        result = run_tool([
+            self.path("nonexistent.json"), cur, "--missing-baseline-ok",
+            "--require-scaling", "BM_ConcurrentWriterLocalIngest"])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("scaling requirement", result.stderr)
+
+    def test_scaling_requirement_is_capped_by_num_cpus(self):
+        cur = self.path("cur.json")
+        # 16 writers on 4 cpus: required >= 0.5*min(16,4) = 2.0x, not 8x.
+        self.scaling_doc(cur, {1: 100.0, 16: 210.0}, num_cpus=4)
+        result = run_tool([
+            self.path("nonexistent.json"), cur, "--missing-baseline-ok",
+            "--require-scaling", "BM_ConcurrentWriterLocalIngest"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_scaling_gate_skips_on_one_cpu(self):
+        cur = self.path("cur.json")
+        self.scaling_doc(cur, {1: 100.0, 8: 100.0}, num_cpus=1)
+        result = run_tool([
+            self.path("nonexistent.json"), cur, "--missing-baseline-ok",
+            "--require-scaling", "BM_ConcurrentWriterLocalIngest"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_scaling_gate_with_no_matching_benchmarks_fails(self):
+        # A typo'd prefix (or a head that silently dropped the sweep)
+        # must not pass as a vacuous success.
+        cur = self.path("cur.json")
+        write_bench_json(cur, {"BM_Other/8": 100.0},
+                         context={"num_cpus": 16})
+        result = run_tool([
+            self.path("nonexistent.json"), cur, "--missing-baseline-ok",
+            "--require-scaling", "BM_ConcurrentWriterLocalIngest"])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no benchmarks named", result.stderr)
+
 
 if __name__ == "__main__":
     unittest.main()
